@@ -1,0 +1,90 @@
+//! E1 — Example 1 / Figure 1: the pull-up crossover.
+//!
+//! Paper claim (Section 3): "if there are many departments but few
+//! employees are younger than 22 years, then the query B may be more
+//! efficient to evaluate than A1 and A2. However, if there are few
+//! departments but many employees below 22 years old, then execution of
+//! A1 and A2 may be significantly less expensive."
+//!
+//! Sweep the two knobs the claim names — number of departments and the
+//! fraction of young employees — at a fixed total employee count, and
+//! report the **measured** IO of the traditional plan (A1/A2) and the
+//! full optimizer's choice, plus which strategy the optimizer picked.
+//!
+//! Expected shape: in the many-departments / few-young corner the
+//! optimizer pulls up and beats the traditional plan; in the opposite
+//! corner it keeps the view and matches it; it never loses.
+
+use aggview_bench::{model_with_mem, pages, print_table, run_all_variants, Variant};
+use aggview_core::query::examples::example1_query;
+use aggview_storage::datagen::{gen_empdept, EmpDeptConfig};
+
+fn main() {
+    let total_emps = 20_000usize;
+    let dept_counts = [5usize, 200, 2000, 8000];
+    let young_fracs = [0.002f64, 0.02, 0.2, 0.6];
+    let model = model_with_mem(4.0);
+
+    let mut rows = Vec::new();
+    let mut pullup_won_in_expected_corner = false;
+    let mut view_kept_in_expected_corner = false;
+    for &nd in &dept_counts {
+        for &yf in &young_fracs {
+            let cfg = EmpDeptConfig {
+                n_depts: nd,
+                emps_per_dept: (total_emps / nd).max(2),
+                young_fraction: yf,
+                low_budget_fraction: 0.3,
+                seed: 1,
+            };
+            let catalog = gen_empdept(&cfg).expect("catalog");
+            let q = example1_query();
+            let runs = run_all_variants(&q, &catalog, model);
+            let trad = runs
+                .iter()
+                .find(|r| r.variant == Variant::Traditional)
+                .unwrap();
+            let full = runs.iter().find(|r| r.variant == Variant::Full).unwrap();
+            let pulled = full.optimized.pulled.iter().any(|w| !w.is_empty());
+            let choice = if pulled {
+                "pull-up (B)"
+            } else {
+                "view (A1/A2)"
+            };
+            let speedup = trad.measured_io / full.measured_io.max(1e-9);
+            rows.push(vec![
+                nd.to_string(),
+                format!("{yf:.3}"),
+                pages(trad.measured_io),
+                pages(full.measured_io),
+                format!("{speedup:.2}x"),
+                choice.to_string(),
+            ]);
+            if nd >= 2000 && yf <= 0.02 && pulled && speedup > 1.05 {
+                pullup_won_in_expected_corner = true;
+            }
+            if nd <= 5 && yf >= 0.6 && !pulled {
+                view_kept_in_expected_corner = true;
+            }
+            assert!(
+                full.measured_io <= trad.measured_io * 1.05 + 1.0,
+                "full optimizer lost at nd={nd} yf={yf}"
+            );
+        }
+    }
+    print_table(
+        "E1: Example 1 crossover — traditional (A1/A2) vs cost-based choice \
+         (20k employees, 4-page memory)",
+        &["depts", "young", "trad IO", "full IO", "speedup", "chosen"],
+        &rows,
+    );
+    assert!(
+        pullup_won_in_expected_corner,
+        "pull-up should win with many departments and few young employees"
+    );
+    assert!(
+        view_kept_in_expected_corner,
+        "the view plan should be kept with few departments and many young employees"
+    );
+    println!("\nshape check passed: crossover matches the paper's prediction.");
+}

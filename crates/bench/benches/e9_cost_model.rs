@@ -1,0 +1,111 @@
+//! E9 — cost-model validation: estimated vs measured IO.
+//!
+//! Every conclusion of the paper rests on the optimizer ranking plans by
+//! estimated IO. This experiment executes the plans chosen by every
+//! optimizer variant across a corpus of workloads (the Example 1
+//! crossover grid, Example 2 both widths, the Figure 4 query, and the
+//! star-schema coalescing query) and reports the distribution of
+//! `estimated / measured` — the estimator's bias and spread.
+//!
+//! Because both sides use the *same charging formulas*
+//! (`aggview_core::cost::ops`), any discrepancy is cardinality/width
+//! estimation error by construction.
+//!
+//! Expected shape: geometric-mean ratio within 2× of 1.0 and bounded
+//! spread — good enough for the crossover decisions earlier experiments
+//! demonstrate.
+
+use aggview_bench::{geo_mean, model_with_mem, print_table, run_all_variants};
+use aggview_core::query::examples::{example1_query, example2_query, example2_wide_query};
+use aggview_storage::datagen::{gen_empdept, gen_star, EmpDeptConfig, StarConfig};
+
+fn main() {
+    let model = model_with_mem(6.0);
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut rows = Vec::new();
+    let mut record = |name: &str, rs: &[aggview_bench::VariantRun], ratios: &mut Vec<f64>| {
+        for r in rs {
+            if r.measured_io > 1.0 && r.optimized.props.cost > 1.0 {
+                let ratio = r.optimized.props.cost / r.measured_io;
+                ratios.push(ratio);
+                rows.push(vec![
+                    name.to_string(),
+                    r.variant.name().to_string(),
+                    format!("{:.1}", r.optimized.props.cost),
+                    format!("{:.1}", r.measured_io),
+                    format!("{ratio:.2}"),
+                ]);
+            }
+        }
+    };
+
+    for (nd, yf) in [(50usize, 0.3f64), (2000, 0.01), (8000, 0.002)] {
+        let catalog = gen_empdept(&EmpDeptConfig {
+            n_depts: nd,
+            emps_per_dept: (20_000 / nd).max(2),
+            young_fraction: yf,
+            low_budget_fraction: 0.3,
+            seed: 9,
+        })
+        .expect("catalog");
+        let runs = run_all_variants(&example1_query(), &catalog, model);
+        record(&format!("ex1 nd={nd}"), &runs, &mut ratios);
+        let runs = run_all_variants(&example2_query(), &catalog, model);
+        record(&format!("ex2 nd={nd}"), &runs, &mut ratios);
+        let runs = run_all_variants(&example2_wide_query(), &catalog, model);
+        record(&format!("ex2w nd={nd}"), &runs, &mut ratios);
+    }
+    {
+        let catalog = gen_star(&StarConfig {
+            customers: 2000,
+            orders_per_customer: 8,
+            lines_per_order: 4,
+            nations: 25,
+            seed: 9,
+        })
+        .expect("catalog");
+        // COUNT(*) per customer (the E8 query).
+        use aggview_common::{AggSpec, Col, Predicate, ViewId};
+        use aggview_core::query::{CanonicalQuery, QueryEnv, TopGroup};
+        let mut env = QueryEnv::default();
+        let l = env.add_rel("lineitem");
+        let o = env.add_rel("orders");
+        let q = CanonicalQuery {
+            env,
+            views: vec![],
+            base_rels: vec![l, o],
+            preds: vec![Predicate::eq_cols(Col::base(l, 1), Col::base(o, 0))],
+            group: Some(TopGroup {
+                group_cols: vec![Col::base(o, 1)],
+                aggs: vec![AggSpec::count_star()],
+                having: vec![],
+            }),
+            projection: vec![Col::base(o, 1), Col::agg(ViewId::Top, 0)],
+        };
+        let runs = run_all_variants(&q, &catalog, model);
+        record("star count", &runs, &mut ratios);
+    }
+
+    print_table(
+        "E9: estimated vs measured IO per chosen plan (ratio = est/meas)",
+        &["workload", "variant", "estimated", "measured", "ratio"],
+        &rows,
+    );
+    let gm = geo_mean(&ratios);
+    let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = ratios.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\n{} plans: est/meas geo-mean {:.2}, range [{:.2}, {:.2}]",
+        ratios.len(),
+        gm,
+        lo,
+        hi
+    );
+    assert!(ratios.len() >= 30, "corpus too small");
+    assert!(
+        (0.5..=2.0).contains(&gm),
+        "estimator bias out of range: {gm:.2}"
+    );
+    assert!(lo > 0.2 && hi < 5.0, "estimator spread out of range");
+    println!("shape check passed: estimation error is bounded and centered.");
+}

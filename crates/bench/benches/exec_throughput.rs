@@ -1,0 +1,77 @@
+//! Criterion microbenchmark: executor operator throughput.
+//!
+//! Wall-clock time of executing the core physical operators (hash join,
+//! hash aggregation, the full Example 1 plan) — sanity that the
+//! substrate is fast enough for the experiment suite's repeated
+//! executions.
+
+use aggview_bench::model_with_mem;
+use aggview_common::{AggFunc, AggSpec, Col, Expr, Predicate, RelId, ViewId};
+use aggview_core::optimizer::multi_view::optimize;
+use aggview_core::plan::{all_cols, GroupBySpec, Plan};
+use aggview_core::query::examples::{emp, example1_query};
+use aggview_core::query::QueryEnv;
+use aggview_core::OptimizerConfig;
+use aggview_executor::Engine;
+use aggview_storage::datagen::{gen_empdept, EmpDeptConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_exec(c: &mut Criterion) {
+    let catalog = gen_empdept(&EmpDeptConfig {
+        n_depts: 100,
+        emps_per_dept: 100,
+        young_fraction: 0.1,
+        low_budget_fraction: 0.3,
+        seed: 12,
+    })
+    .expect("catalog");
+    let model = model_with_mem(64.0);
+    let env = QueryEnv::new(vec!["emp".into(), "dept".into()]);
+    let engine = Engine::new(&catalog, &env, model);
+    let n_emp = catalog.get("emp").unwrap().len() as u64;
+
+    let join_plan = Plan::join_all(
+        Plan::scan(RelId(0), "emp", vec![], all_cols(RelId(0), 5)),
+        Plan::scan(RelId(1), "dept", vec![], all_cols(RelId(1), 4)),
+        vec![Predicate::eq_cols(
+            Col::base(RelId(0), emp::DNO),
+            Col::base(RelId(1), 0),
+        )],
+    );
+    let agg_plan = Plan::group_by_all(
+        Plan::scan(RelId(0), "emp", vec![], all_cols(RelId(0), 5)),
+        GroupBySpec {
+            owner: ViewId::Top,
+            group_cols: vec![Col::base(RelId(0), emp::DNO)],
+            aggs: vec![AggSpec::new(
+                AggFunc::Avg,
+                Expr::col(Col::base(RelId(0), emp::SAL)),
+            )],
+            having: vec![],
+        },
+    );
+
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n_emp));
+    group.bench_function("hash_join_10k", |b| {
+        b.iter(|| engine.execute(&join_plan).unwrap())
+    });
+    group.bench_function("hash_agg_10k", |b| {
+        b.iter(|| engine.execute(&agg_plan).unwrap())
+    });
+
+    // Full pipeline: optimize + execute Example 1.
+    let q = example1_query();
+    let e1_engine = Engine::new(&catalog, &q.env, model);
+    let plan = optimize(&q, &catalog, model, &OptimizerConfig::default())
+        .unwrap()
+        .plan;
+    group.bench_function("example1_end_to_end", |b| {
+        b.iter(|| e1_engine.execute(&plan).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec);
+criterion_main!(benches);

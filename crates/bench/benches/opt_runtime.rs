@@ -1,0 +1,82 @@
+//! Criterion microbenchmark: optimizer runtime.
+//!
+//! Wall-clock time of `optimize()` for the traditional and full
+//! configurations across query sizes — the practical face of E5's
+//! search-space accounting. The paper's claim that its enumeration can
+//! be adopted by commercial optimizers rests on this staying small.
+
+use aggview_bench::model_with_mem;
+use aggview_common::{AggFunc, AggSpec, CmpOp, Col, Expr, Predicate, Value, ViewId};
+use aggview_core::optimizer::multi_view::optimize;
+use aggview_core::query::{CanonicalQuery, QueryEnv, ViewDef};
+use aggview_core::OptimizerConfig;
+use aggview_storage::datagen::{gen_star, StarConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn chain_query(n_base: usize) -> CanonicalQuery {
+    let mut env = QueryEnv::default();
+    let l = env.add_rel("lineitem");
+    let chain_tables = ["orders", "customer", "nation", "region"];
+    let base: Vec<_> = chain_tables[..n_base]
+        .iter()
+        .map(|t| env.add_rel(*t))
+        .collect();
+    let view = ViewDef {
+        index: 0,
+        rels: vec![l],
+        preds: vec![],
+        group_cols: vec![Col::base(l, 1)],
+        aggs: vec![AggSpec::new(AggFunc::Sum, Expr::col(Col::base(l, 3)))],
+        having: vec![],
+    };
+    let mut preds = vec![
+        Predicate::eq_cols(Col::base(base[0], 0), Col::base(l, 1)),
+        Predicate::new(
+            Expr::col(Col::agg(ViewId::View(0), 0)),
+            CmpOp::Gt,
+            Expr::val(Value::Float(100.0)),
+        ),
+    ];
+    for i in 1..n_base {
+        preds.push(Predicate::eq_cols(
+            Col::base(base[i - 1], 1),
+            Col::base(base[i], 0),
+        ));
+    }
+    CanonicalQuery {
+        env,
+        views: vec![view],
+        base_rels: base.clone(),
+        preds,
+        group: None,
+        projection: vec![Col::base(base[0], 0)],
+    }
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let catalog = gen_star(&StarConfig {
+        customers: 200,
+        orders_per_customer: 4,
+        lines_per_order: 2,
+        nations: 25,
+        seed: 11,
+    })
+    .expect("catalog");
+    let model = model_with_mem(8.0);
+
+    let mut group = c.benchmark_group("optimize");
+    group.sample_size(20);
+    for n_base in [2usize, 3, 4] {
+        let q = chain_query(n_base);
+        group.bench_with_input(BenchmarkId::new("traditional", n_base + 1), &q, |b, q| {
+            b.iter(|| optimize(q, &catalog, model, &OptimizerConfig::traditional()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("full", n_base + 1), &q, |b, q| {
+            b.iter(|| optimize(q, &catalog, model, &OptimizerConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

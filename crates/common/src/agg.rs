@@ -1,0 +1,595 @@
+//! Aggregate functions and their decomposition into partial states.
+//!
+//! The paper's transformations put two requirements on aggregates:
+//!
+//! 1. **Pull-up** (Section 3) merely *defers* where an aggregate is
+//!    computed, so any function works.
+//! 2. **Simple coalescing grouping** (Section 4.2) "requires that the
+//!    aggregating functions ... satisfy the property of being
+//!    *decomposable*, e.g., we must be able to subsequently coalesce two
+//!    groups that agree on the grouping columns." [`PartialAggState`]
+//!    implements that decomposition: a lower group-by produces partial
+//!    states, joins duplicate/route them like ordinary columns, and the
+//!    upper group-by merges states and finalizes.
+//!
+//! Built-ins: COUNT, COUNT(*), SUM, MIN, MAX, AVG, and — as the paper's
+//! example of a user-defined aggregate without side effects — population
+//! standard deviation (`STDDEV`). All are decomposable.
+
+use crate::error::{AggViewError, Result};
+use crate::expr::Expr;
+use crate::value::{DataType, Value};
+use std::fmt;
+
+/// The supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// COUNT(expr) or COUNT(*) (argument-less in [`AggSpec`]).
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    /// Population standard deviation — stands in for the paper's
+    /// "user-defined (without side-effects)" aggregate example.
+    StdDev,
+}
+
+impl AggFunc {
+    /// Result type given the argument type (`None` for COUNT(*)).
+    pub fn output_type(self, arg: Option<DataType>) -> Result<DataType> {
+        match self {
+            AggFunc::Count => Ok(DataType::Int),
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                let t = arg
+                    .ok_or_else(|| AggViewError::Schema(format!("{self} requires an argument")))?;
+                if self == AggFunc::Sum && !t.is_numeric() {
+                    return Err(AggViewError::Schema(format!("SUM over non-numeric {t}")));
+                }
+                Ok(t)
+            }
+            AggFunc::Avg | AggFunc::StdDev => {
+                let t = arg
+                    .ok_or_else(|| AggViewError::Schema(format!("{self} requires an argument")))?;
+                if !t.is_numeric() {
+                    return Err(AggViewError::Schema(format!("{self} over non-numeric {t}")));
+                }
+                Ok(DataType::Float)
+            }
+        }
+    }
+
+    /// All built-ins are decomposable; a hook for user-defined aggregates
+    /// that are not (holistic functions like MEDIAN would return false,
+    /// disabling simple coalescing for queries that use them).
+    pub fn is_decomposable(self) -> bool {
+        true
+    }
+
+    /// Types of the partial-state components, in component order.
+    pub fn partial_types(self, arg: Option<DataType>) -> Result<Vec<DataType>> {
+        Ok(match self {
+            AggFunc::Count => vec![DataType::Int],
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                vec![self.output_type(arg)?]
+            }
+            AggFunc::Avg => vec![DataType::Float, DataType::Int],
+            AggFunc::StdDev => vec![DataType::Float, DataType::Float, DataType::Int],
+        })
+    }
+
+    /// Number of partial-state components.
+    pub fn partial_arity(self) -> usize {
+        match self {
+            AggFunc::Count | AggFunc::Sum | AggFunc::Min | AggFunc::Max => 1,
+            AggFunc::Avg => 2,
+            AggFunc::StdDev => 3,
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+            AggFunc::StdDev => "STDDEV",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One aggregate computation: function plus argument expression
+/// (`None` = COUNT(*)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub arg: Option<Expr>,
+}
+
+impl AggSpec {
+    pub fn new(func: AggFunc, arg: Expr) -> AggSpec {
+        AggSpec {
+            func,
+            arg: Some(arg),
+        }
+    }
+
+    /// COUNT(*).
+    pub fn count_star() -> AggSpec {
+        AggSpec {
+            func: AggFunc::Count,
+            arg: None,
+        }
+    }
+
+    /// The aggregating columns of this spec (paper Section 2: the `b1..bn`
+    /// columns).
+    pub fn cols_used(&self) -> std::collections::BTreeSet<crate::ids::Col> {
+        self.arg.as_ref().map(Expr::cols_used).unwrap_or_default()
+    }
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            Some(e) => write!(f, "{}({})", self.func, e),
+            None => write!(f, "{}(*)", self.func),
+        }
+    }
+}
+
+/// A partial aggregate state: the decomposed representation of one
+/// aggregate over a subset of a group's tuples.
+///
+/// State components are plain [`Value`]s so they can travel through join
+/// operators inside tuples (identified by [`crate::ids::PartRef`]
+/// columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialAggState {
+    func: AggFunc,
+    state: Vec<Value>,
+}
+
+impl PartialAggState {
+    /// State for an empty subset of tuples.
+    pub fn empty(func: AggFunc) -> PartialAggState {
+        let state = match func {
+            AggFunc::Count => vec![Value::Int(0)],
+            // MIN/MAX/SUM over the empty set have no identity value we
+            // can represent without NULLs; use a sentinel empty count so
+            // merge/finalize can detect it.
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => vec![],
+            AggFunc::Avg => vec![Value::Float(0.0), Value::Int(0)],
+            AggFunc::StdDev => vec![Value::Float(0.0), Value::Float(0.0), Value::Int(0)],
+        };
+        PartialAggState { func, state }
+    }
+
+    /// Absorb one raw input value (`None` only for COUNT(*)).
+    pub fn update(&mut self, arg: Option<&Value>) -> Result<()> {
+        match self.func {
+            AggFunc::Count => {
+                let n = self.state[0].as_i64().expect("count state");
+                self.state[0] = Value::Int(n + 1);
+            }
+            AggFunc::Sum => {
+                let v = require_arg(arg, "SUM")?;
+                match self.state.first() {
+                    None => self.state.push(numeric_clone(v, "SUM")?),
+                    Some(cur) => {
+                        self.state[0] = add_numeric(cur, v)?;
+                    }
+                }
+            }
+            AggFunc::Min => {
+                let v = require_arg(arg, "MIN")?;
+                match self.state.first() {
+                    None => self.state.push(v.clone()),
+                    Some(cur) if v < cur => self.state[0] = v.clone(),
+                    _ => {}
+                }
+            }
+            AggFunc::Max => {
+                let v = require_arg(arg, "MAX")?;
+                match self.state.first() {
+                    None => self.state.push(v.clone()),
+                    Some(cur) if v > cur => self.state[0] = v.clone(),
+                    _ => {}
+                }
+            }
+            AggFunc::Avg => {
+                let v = require_arg(arg, "AVG")?;
+                let x = as_number(v, "AVG")?;
+                let s = self.state[0].as_f64().expect("avg sum state");
+                let n = self.state[1].as_i64().expect("avg count state");
+                self.state[0] = Value::Float(s + x);
+                self.state[1] = Value::Int(n + 1);
+            }
+            AggFunc::StdDev => {
+                let v = require_arg(arg, "STDDEV")?;
+                let x = as_number(v, "STDDEV")?;
+                let s = self.state[0].as_f64().expect("stddev sum state");
+                let q = self.state[1].as_f64().expect("stddev sumsq state");
+                let n = self.state[2].as_i64().expect("stddev count state");
+                self.state[0] = Value::Float(s + x);
+                self.state[1] = Value::Float(q + x * x);
+                self.state[2] = Value::Int(n + 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Coalesce another partial state of the same aggregate into this one
+    /// — the operation the upper group-by of simple coalescing performs.
+    pub fn merge(&mut self, other: &PartialAggState) -> Result<()> {
+        if self.func != other.func {
+            return Err(AggViewError::Exec(format!(
+                "cannot merge {} state into {} state",
+                other.func, self.func
+            )));
+        }
+        self.merge_components(&other.state)
+    }
+
+    /// Coalesce raw state components (as read out of a tuple).
+    pub fn merge_components(&mut self, other: &[Value]) -> Result<()> {
+        match self.func {
+            AggFunc::Count => {
+                let a = self.state[0].as_i64().expect("count state");
+                let b = other
+                    .first()
+                    .and_then(Value::as_i64)
+                    .ok_or_else(|| AggViewError::Exec("bad COUNT partial state".into()))?;
+                self.state[0] = Value::Int(a + b);
+            }
+            AggFunc::Sum => match (self.state.first().cloned(), other.first()) {
+                (_, None) => {}
+                (None, Some(v)) => self.state.push(v.clone()),
+                (Some(cur), Some(v)) => self.state[0] = add_numeric(&cur, v)?,
+            },
+            AggFunc::Min => match (self.state.first().cloned(), other.first()) {
+                (_, None) => {}
+                (None, Some(v)) => self.state.push(v.clone()),
+                (Some(cur), Some(v)) => {
+                    if v < &cur {
+                        self.state[0] = v.clone();
+                    }
+                }
+            },
+            AggFunc::Max => match (self.state.first().cloned(), other.first()) {
+                (_, None) => {}
+                (None, Some(v)) => self.state.push(v.clone()),
+                (Some(cur), Some(v)) => {
+                    if v > &cur {
+                        self.state[0] = v.clone();
+                    }
+                }
+            },
+            AggFunc::Avg => {
+                if other.len() != 2 {
+                    return Err(AggViewError::Exec("bad AVG partial state".into()));
+                }
+                let s = self.state[0].as_f64().expect("avg sum") + partial_f64(&other[0])?;
+                let n = self.state[1].as_i64().expect("avg count") + partial_i64(&other[1])?;
+                self.state[0] = Value::Float(s);
+                self.state[1] = Value::Int(n);
+            }
+            AggFunc::StdDev => {
+                if other.len() != 3 {
+                    return Err(AggViewError::Exec("bad STDDEV partial state".into()));
+                }
+                let s = self.state[0].as_f64().expect("stddev sum") + partial_f64(&other[0])?;
+                let q = self.state[1].as_f64().expect("stddev sumsq") + partial_f64(&other[1])?;
+                let n = self.state[2].as_i64().expect("stddev count") + partial_i64(&other[2])?;
+                self.state[0] = Value::Float(s);
+                self.state[1] = Value::Float(q);
+                self.state[2] = Value::Int(n);
+            }
+        }
+        Ok(())
+    }
+
+    /// The state components (for embedding into tuples). For SUM/MIN/MAX
+    /// the empty state has no components; callers must not emit tuples
+    /// for empty groups (grouped aggregation never does).
+    pub fn components(&self) -> &[Value] {
+        &self.state
+    }
+
+    /// Final aggregate value.
+    pub fn finalize(&self) -> Result<Value> {
+        match self.func {
+            AggFunc::Count => Ok(self.state[0].clone()),
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                self.state.first().cloned().ok_or_else(|| {
+                    AggViewError::Exec(format!("{} over empty group (NULL unsupported)", self.func))
+                })
+            }
+            AggFunc::Avg => {
+                let s = self.state[0].as_f64().expect("avg sum");
+                let n = self.state[1].as_i64().expect("avg count");
+                if n == 0 {
+                    Err(AggViewError::Exec(
+                        "AVG over empty group (NULL unsupported)".into(),
+                    ))
+                } else {
+                    Ok(Value::Float(s / n as f64))
+                }
+            }
+            AggFunc::StdDev => {
+                let s = self.state[0].as_f64().expect("stddev sum");
+                let q = self.state[1].as_f64().expect("stddev sumsq");
+                let n = self.state[2].as_i64().expect("stddev count");
+                if n == 0 {
+                    Err(AggViewError::Exec(
+                        "STDDEV over empty group (NULL unsupported)".into(),
+                    ))
+                } else {
+                    let mean = s / n as f64;
+                    let var = (q / n as f64 - mean * mean).max(0.0);
+                    Ok(Value::Float(var.sqrt()))
+                }
+            }
+        }
+    }
+
+    /// The function this state decomposes.
+    pub fn func(&self) -> AggFunc {
+        self.func
+    }
+}
+
+/// Direct (non-decomposed) accumulator — a thin convenience wrapper over
+/// [`PartialAggState`] used by the executor's one-shot aggregation path.
+#[derive(Debug, Clone)]
+pub struct AggAccumulator {
+    state: PartialAggState,
+}
+
+impl AggAccumulator {
+    pub fn new(func: AggFunc) -> AggAccumulator {
+        AggAccumulator {
+            state: PartialAggState::empty(func),
+        }
+    }
+
+    /// Absorb one input value.
+    pub fn update(&mut self, arg: Option<&Value>) -> Result<()> {
+        self.state.update(arg)
+    }
+
+    /// Final result.
+    pub fn finalize(&self) -> Result<Value> {
+        self.state.finalize()
+    }
+}
+
+fn require_arg<'v>(arg: Option<&'v Value>, func: &str) -> Result<&'v Value> {
+    arg.ok_or_else(|| AggViewError::Exec(format!("{func} requires an argument")))
+}
+
+fn as_number(v: &Value, func: &str) -> Result<f64> {
+    v.as_f64()
+        .ok_or_else(|| AggViewError::Exec(format!("{func} over non-numeric value {v}")))
+}
+
+fn numeric_clone(v: &Value, func: &str) -> Result<Value> {
+    match v {
+        Value::Int(_) | Value::Float(_) => Ok(v.clone()),
+        other => Err(AggViewError::Exec(format!(
+            "{func} over non-numeric value {other}"
+        ))),
+    }
+}
+
+/// Add two numeric values, staying exact for Int + Int.
+fn add_numeric(a: &Value, b: &Value) -> Result<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(*y))),
+        _ => {
+            let x = as_number(a, "SUM")?;
+            let y = as_number(b, "SUM")?;
+            Ok(Value::Float(x + y))
+        }
+    }
+}
+
+fn partial_f64(v: &Value) -> Result<f64> {
+    v.as_f64()
+        .ok_or_else(|| AggViewError::Exec("non-numeric partial state".into()))
+}
+
+fn partial_i64(v: &Value) -> Result<i64> {
+    v.as_i64()
+        .ok_or_else(|| AggViewError::Exec("non-integer partial count".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, vals: &[Value]) -> Value {
+        let mut acc = AggAccumulator::new(func);
+        for v in vals {
+            acc.update(Some(v)).unwrap();
+        }
+        acc.finalize().unwrap()
+    }
+
+    #[test]
+    fn count_star() {
+        let mut acc = AggAccumulator::new(AggFunc::Count);
+        for _ in 0..5 {
+            acc.update(None).unwrap();
+        }
+        assert_eq!(acc.finalize().unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn sum_int_stays_exact() {
+        let v = run(AggFunc::Sum, &[Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(v, Value::Int(6));
+    }
+
+    #[test]
+    fn sum_mixed_promotes() {
+        let v = run(AggFunc::Sum, &[Value::Int(1), Value::Float(0.5)]);
+        assert_eq!(v, Value::Float(1.5));
+    }
+
+    #[test]
+    fn min_max_over_strings() {
+        let vals = [Value::str("pear"), Value::str("apple"), Value::str("fig")];
+        assert_eq!(run(AggFunc::Min, &vals), Value::str("apple"));
+        assert_eq!(run(AggFunc::Max, &vals), Value::str("pear"));
+    }
+
+    #[test]
+    fn avg_matches_paper_example_semantics() {
+        // avg(sal) over a department's salaries.
+        let v = run(
+            AggFunc::Avg,
+            &[
+                Value::Float(100.0),
+                Value::Float(200.0),
+                Value::Float(300.0),
+            ],
+        );
+        assert_eq!(v, Value::Float(200.0));
+    }
+
+    #[test]
+    fn stddev_population() {
+        let v = run(
+            AggFunc::StdDev,
+            &[
+                Value::Float(2.0),
+                Value::Float(4.0),
+                Value::Float(4.0),
+                Value::Float(4.0),
+                Value::Float(5.0),
+                Value::Float(5.0),
+                Value::Float(7.0),
+                Value::Float(9.0),
+            ],
+        );
+        assert_eq!(v, Value::Float(2.0));
+    }
+
+    #[test]
+    fn empty_group_finalize_errors_for_value_functions() {
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+            AggFunc::StdDev,
+        ] {
+            assert!(AggAccumulator::new(f).finalize().is_err(), "{f}");
+        }
+        assert_eq!(
+            AggAccumulator::new(AggFunc::Count).finalize().unwrap(),
+            Value::Int(0)
+        );
+    }
+
+    /// Core decomposability property: splitting the input arbitrarily,
+    /// computing partials, then merging, equals one-shot aggregation.
+    #[test]
+    fn merge_equals_oneshot_for_every_function() {
+        let vals: Vec<Value> = (1..=10).map(|i| Value::Float(i as f64 * 1.5)).collect();
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+            AggFunc::StdDev,
+        ] {
+            for split in 0..=vals.len() {
+                let mut a = PartialAggState::empty(f);
+                let mut b = PartialAggState::empty(f);
+                for v in &vals[..split] {
+                    a.update(Some(v)).unwrap();
+                }
+                for v in &vals[split..] {
+                    b.update(Some(v)).unwrap();
+                }
+                a.merge(&b).unwrap();
+                let direct = run(f, &vals);
+                let merged = a.finalize().unwrap();
+                match (merged.as_f64(), direct.as_f64()) {
+                    (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "{f} split {split}"),
+                    _ => assert_eq!(merged, direct, "{f} split {split}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_components_round_trips_through_values() {
+        let mut a = PartialAggState::empty(AggFunc::Avg);
+        a.update(Some(&Value::Float(10.0))).unwrap();
+        let comps: Vec<Value> = a.components().to_vec();
+        let mut b = PartialAggState::empty(AggFunc::Avg);
+        b.update(Some(&Value::Float(30.0))).unwrap();
+        b.merge_components(&comps).unwrap();
+        assert_eq!(b.finalize().unwrap(), Value::Float(20.0));
+    }
+
+    #[test]
+    fn merge_mismatched_functions_rejected() {
+        let mut a = PartialAggState::empty(AggFunc::Sum);
+        let b = PartialAggState::empty(AggFunc::Avg);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn partial_types_and_arity_agree() {
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+            AggFunc::StdDev,
+        ] {
+            let tys = f.partial_types(Some(DataType::Float)).unwrap();
+            assert_eq!(tys.len(), f.partial_arity(), "{f}");
+            assert!(f.is_decomposable());
+        }
+    }
+
+    #[test]
+    fn output_types() {
+        assert_eq!(AggFunc::Count.output_type(None).unwrap(), DataType::Int);
+        assert_eq!(
+            AggFunc::Sum.output_type(Some(DataType::Int)).unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            AggFunc::Avg.output_type(Some(DataType::Int)).unwrap(),
+            DataType::Float
+        );
+        assert!(AggFunc::Sum.output_type(Some(DataType::Str)).is_err());
+        assert!(AggFunc::Avg.output_type(None).is_err());
+        assert_eq!(
+            AggFunc::Min.output_type(Some(DataType::Str)).unwrap(),
+            DataType::Str
+        );
+    }
+
+    #[test]
+    fn agg_spec_display_and_cols() {
+        use crate::ids::{Col, RelId};
+        let spec = AggSpec::new(AggFunc::Avg, Expr::col(Col::base(RelId(1), 3)));
+        assert_eq!(spec.to_string(), "AVG(r1.c3)");
+        assert_eq!(spec.cols_used().len(), 1);
+        assert_eq!(AggSpec::count_star().to_string(), "COUNT(*)");
+        assert!(AggSpec::count_star().cols_used().is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, AggViewError>;
+
+/// Errors produced anywhere in the aggview workspace.
+///
+/// Variants are grouped by subsystem so call sites can match coarsely
+/// (e.g. a REPL distinguishing parse errors from execution errors) while
+/// the message carries the detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggViewError {
+    /// Lexing or parsing of SQL text failed.
+    Parse(String),
+    /// Name resolution / semantic analysis failed (unknown table, ambiguous
+    /// column, aggregate misuse, ...).
+    Bind(String),
+    /// A schema-level invariant was violated (arity mismatch, type
+    /// mismatch, duplicate column, ...).
+    Schema(String),
+    /// Catalog lookup failed or a catalog invariant was violated.
+    Catalog(String),
+    /// A plan was structurally invalid (dangling column reference,
+    /// non-legal operator tree in the paper's sense, ...).
+    Plan(String),
+    /// Runtime evaluation failure (division by zero, type error at
+    /// evaluation time, ...).
+    Exec(String),
+    /// The optimizer could not produce a plan (e.g. empty relation set).
+    Optimize(String),
+}
+
+impl AggViewError {
+    /// Short subsystem label, useful for log prefixes and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AggViewError::Parse(_) => "parse",
+            AggViewError::Bind(_) => "bind",
+            AggViewError::Schema(_) => "schema",
+            AggViewError::Catalog(_) => "catalog",
+            AggViewError::Plan(_) => "plan",
+            AggViewError::Exec(_) => "exec",
+            AggViewError::Optimize(_) => "optimize",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            AggViewError::Parse(m)
+            | AggViewError::Bind(m)
+            | AggViewError::Schema(m)
+            | AggViewError::Catalog(m)
+            | AggViewError::Plan(m)
+            | AggViewError::Exec(m)
+            | AggViewError::Optimize(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for AggViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for AggViewError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = AggViewError::Parse("unexpected token `;`".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token `;`");
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token `;`");
+    }
+
+    #[test]
+    fn kinds_are_distinct_per_variant() {
+        let errs = [
+            AggViewError::Parse(String::new()),
+            AggViewError::Bind(String::new()),
+            AggViewError::Schema(String::new()),
+            AggViewError::Catalog(String::new()),
+            AggViewError::Plan(String::new()),
+            AggViewError::Exec(String::new()),
+            AggViewError::Optimize(String::new()),
+        ];
+        let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), errs.len());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&AggViewError::Exec("boom".into()));
+    }
+}

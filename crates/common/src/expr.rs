@@ -1,0 +1,347 @@
+//! Scalar expressions over plan columns.
+//!
+//! Expressions are *symbolic*: they reference [`Col`]s (base or aggregate
+//! columns), not tuple positions. Before evaluation they are bound
+//! against a concrete operator output layout ([`Expr::bind`]), producing
+//! a positional [`BoundExpr`] that evaluates against [`Tuple`]s.
+
+use crate::error::{AggViewError, Result};
+use crate::ids::{Col, ColRef, RelId};
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinaryOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        }
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Reference to a data-flow column.
+    Col(Col),
+    /// Literal constant.
+    Const(Value),
+    /// Binary arithmetic over numeric operands.
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Column reference expression.
+    pub fn col(c: impl Into<Col>) -> Expr {
+        Expr::Col(c.into())
+    }
+
+    /// Constant expression.
+    pub fn val(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// `self op other`.
+    pub fn binary(self, op: BinaryOp, other: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// All columns referenced by this expression.
+    pub fn cols_used(&self) -> BTreeSet<Col> {
+        let mut out = BTreeSet::new();
+        self.collect_cols(&mut out);
+        out
+    }
+
+    fn collect_cols(&self, out: &mut BTreeSet<Col>) {
+        match self {
+            Expr::Col(c) => {
+                out.insert(*c);
+            }
+            Expr::Const(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_cols(out);
+                right.collect_cols(out);
+            }
+        }
+    }
+
+    /// Base relation instances referenced (aggregate columns contribute
+    /// nothing here — they belong to a group-by operator, not a relation).
+    pub fn rels_used(&self) -> BTreeSet<RelId> {
+        self.cols_used()
+            .into_iter()
+            .filter_map(|c| c.as_base().map(|b| b.rel))
+            .collect()
+    }
+
+    /// Base columns referenced.
+    pub fn base_cols_used(&self) -> BTreeSet<ColRef> {
+        self.cols_used()
+            .into_iter()
+            .filter_map(|c| c.as_base())
+            .collect()
+    }
+
+    /// True if any referenced column is an aggregate output.
+    pub fn uses_agg(&self) -> bool {
+        self.cols_used().iter().any(Col::is_agg)
+    }
+
+    /// Rewrite every column reference through `f` (used when plan
+    /// transformations re-home columns).
+    pub fn map_cols(&self, f: &impl Fn(Col) -> Col) -> Expr {
+        match self {
+            Expr::Col(c) => Expr::Col(f(*c)),
+            Expr::Const(v) => Expr::Const(v.clone()),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.map_cols(f)),
+                right: Box::new(right.map_cols(f)),
+            },
+        }
+    }
+
+    /// Static result type given the types of referenced columns.
+    ///
+    /// Arithmetic requires numeric operands; `Int op Int` stays `Int`
+    /// except division, which is `Float` (SQL-style `avg` semantics are
+    /// handled by the aggregate layer, not here).
+    pub fn data_type(&self, col_type: &impl Fn(Col) -> DataType) -> Result<DataType> {
+        match self {
+            Expr::Col(c) => Ok(col_type(*c)),
+            Expr::Const(v) => Ok(v.data_type()),
+            Expr::Binary { op, left, right } => {
+                let lt = left.data_type(col_type)?;
+                let rt = right.data_type(col_type)?;
+                if !lt.is_numeric() || !rt.is_numeric() {
+                    return Err(AggViewError::Schema(format!(
+                        "arithmetic `{}` requires numeric operands, got {lt} and {rt}",
+                        op.symbol()
+                    )));
+                }
+                if *op == BinaryOp::Div || lt == DataType::Float || rt == DataType::Float {
+                    Ok(DataType::Float)
+                } else {
+                    Ok(DataType::Int)
+                }
+            }
+        }
+    }
+
+    /// Bind symbolic column references to tuple positions.
+    ///
+    /// `layout` maps a column to its position in the tuple the bound
+    /// expression will be evaluated against; unknown columns are a plan
+    /// error (the paper's "legal operator tree" condition).
+    pub fn bind(&self, layout: &impl Fn(Col) -> Option<usize>) -> Result<BoundExpr> {
+        match self {
+            Expr::Col(c) => layout(*c)
+                .map(BoundExpr::Col)
+                .ok_or_else(|| AggViewError::Plan(format!("column {c} not available in input"))),
+            Expr::Const(v) => Ok(BoundExpr::Const(v.clone())),
+            Expr::Binary { op, left, right } => Ok(BoundExpr::Binary {
+                op: *op,
+                left: Box::new(left.bind(layout)?),
+                right: Box::new(right.bind(layout)?),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(c) => c.fmt(f),
+            Expr::Const(v) => v.fmt(f),
+            Expr::Binary { op, left, right } => {
+                write!(f, "({} {} {})", left, op.symbol(), right)
+            }
+        }
+    }
+}
+
+/// An expression with column references resolved to tuple positions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    Col(usize),
+    Const(Value),
+    Binary {
+        op: BinaryOp,
+        left: Box<BoundExpr>,
+        right: Box<BoundExpr>,
+    },
+}
+
+impl BoundExpr {
+    /// Evaluate against a tuple.
+    pub fn eval(&self, t: &Tuple) -> Result<Value> {
+        match self {
+            BoundExpr::Col(i) => Ok(t.get(*i).clone()),
+            BoundExpr::Const(v) => Ok(v.clone()),
+            BoundExpr::Binary { op, left, right } => {
+                let l = left.eval(t)?;
+                let r = right.eval(t)?;
+                eval_binary(*op, &l, &r)
+            }
+        }
+    }
+}
+
+fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    // Integer arithmetic stays exact except division.
+    if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
+        return match op {
+            BinaryOp::Add => Ok(Value::Int(a.wrapping_add(b))),
+            BinaryOp::Sub => Ok(Value::Int(a.wrapping_sub(b))),
+            BinaryOp::Mul => Ok(Value::Int(a.wrapping_mul(b))),
+            BinaryOp::Div => {
+                if b == 0 {
+                    Err(AggViewError::Exec("division by zero".into()))
+                } else {
+                    Ok(Value::Float(a as f64 / b as f64))
+                }
+            }
+        };
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(AggViewError::Exec(format!(
+                "arithmetic on non-numeric values {l} and {r}"
+            )))
+        }
+    };
+    match op {
+        BinaryOp::Add => Ok(Value::Float(a + b)),
+        BinaryOp::Sub => Ok(Value::Float(a - b)),
+        BinaryOp::Mul => Ok(Value::Float(a * b)),
+        BinaryOp::Div => {
+            if b == 0.0 {
+                Err(AggViewError::Exec("division by zero".into()))
+            } else {
+                Ok(Value::Float(a / b))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ViewId;
+    use crate::tuple;
+
+    fn c0() -> Expr {
+        Expr::col(Col::base(RelId(0), 0))
+    }
+    fn c1() -> Expr {
+        Expr::col(Col::base(RelId(1), 1))
+    }
+
+    #[test]
+    fn cols_and_rels_used() {
+        let e = c0().binary(BinaryOp::Add, c1().binary(BinaryOp::Mul, Expr::val(2i64)));
+        assert_eq!(e.cols_used().len(), 2);
+        let rels = e.rels_used();
+        assert!(rels.contains(&RelId(0)) && rels.contains(&RelId(1)));
+        assert!(!e.uses_agg());
+        let a = Expr::col(Col::agg(ViewId::View(0), 0));
+        assert!(a.uses_agg());
+        assert!(a.rels_used().is_empty());
+    }
+
+    #[test]
+    fn bind_and_eval_arithmetic() {
+        let e = c0().binary(BinaryOp::Add, Expr::val(10i64));
+        let layout = |c: Col| match c {
+            Col::Base(b) if b.rel == RelId(0) && b.col == 0 => Some(1),
+            _ => None,
+        };
+        let b = e.bind(&layout).unwrap();
+        let v = b.eval(&tuple!["ignored", 5i64]).unwrap();
+        assert_eq!(v, Value::Int(15));
+    }
+
+    #[test]
+    fn bind_fails_on_missing_column() {
+        let e = c0();
+        let err = e.bind(&|_| None).unwrap_err();
+        assert_eq!(err.kind(), "plan");
+    }
+
+    #[test]
+    fn int_division_is_float_and_checked() {
+        let e = Expr::val(7i64).binary(BinaryOp::Div, Expr::val(2i64));
+        let v = e.bind(&|_| None).unwrap().eval(&tuple![]).unwrap();
+        assert_eq!(v, Value::Float(3.5));
+        let z = Expr::val(1i64).binary(BinaryOp::Div, Expr::val(0i64));
+        assert!(z.bind(&|_| None).unwrap().eval(&tuple![]).is_err());
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_float() {
+        let e = Expr::val(2i64).binary(BinaryOp::Mul, Expr::val(1.5f64));
+        let v = e.bind(&|_| None).unwrap().eval(&tuple![]).unwrap();
+        assert_eq!(v, Value::Float(3.0));
+    }
+
+    #[test]
+    fn type_inference() {
+        let ct = |_: Col| DataType::Int;
+        assert_eq!(
+            c0().binary(BinaryOp::Add, c1()).data_type(&ct).unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            c0().binary(BinaryOp::Div, c1()).data_type(&ct).unwrap(),
+            DataType::Float
+        );
+        let st = |_: Col| DataType::Str;
+        assert!(c0().binary(BinaryOp::Add, c1()).data_type(&st).is_err());
+    }
+
+    #[test]
+    fn map_cols_rewrites_references() {
+        let e = c0().binary(BinaryOp::Sub, c1());
+        let shifted = e.map_cols(&|c| match c {
+            Col::Base(b) => Col::base(RelId(b.rel.0 + 10), b.col as usize),
+            other => other,
+        });
+        let rels = shifted.rels_used();
+        assert!(rels.contains(&RelId(10)) && rels.contains(&RelId(11)));
+    }
+
+    #[test]
+    fn arithmetic_on_strings_fails_at_eval() {
+        let e = Expr::val("a").binary(BinaryOp::Add, Expr::val("b"));
+        assert!(e.bind(&|_| None).unwrap().eval(&tuple![]).is_err());
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        let e = c0().binary(BinaryOp::Add, Expr::val(1i64));
+        assert_eq!(e.to_string(), "(r0.c0 + 1)");
+    }
+}

@@ -1,0 +1,274 @@
+//! Identity of relations, columns, and aggregates across query blocks.
+//!
+//! A query in the paper's canonical form (Figure 3) is a join among base
+//! tables `B1..Bn` and aggregate views `Q1..Qm`, possibly under a top
+//! group-by `G0`. Because the pull-up transformation *moves* group-by
+//! operators across joins while preserving which logical aggregate is
+//! being computed, columns need an identity that is independent of where
+//! in the operator tree they are produced:
+//!
+//! * a base column is identified by the relation *instance* it comes from
+//!   ([`ColRef`]) — instances matter because the same table may occur
+//!   several times (`emp e1, emp e2` in the paper's Example 1);
+//! * an aggregated column is identified by the group-by operator that
+//!   logically defines it ([`AggRef`]), regardless of where that group-by
+//!   ends up in a particular execution plan.
+
+use std::fmt;
+
+/// A relation *instance* within one query: the `i`-th entry of the
+/// query's FROM-universe (base-table occurrences, in binder order).
+///
+/// `RelId`s index into per-query side tables mapping instance → base
+/// table, and double as bit positions in the optimizer's subset bitsets,
+/// so a query is limited to 64 relation instances (far beyond anything
+/// the DP enumerator can explore anyway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// Bit mask for subset bitsets.
+    pub fn bit(self) -> u64 {
+        1u64 << self.0
+    }
+
+    /// Index form for slice access.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifies a group-by operator of the canonical query: either one of
+/// the aggregate views `Q1..Qm` or the top-level `G0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ViewId {
+    /// The `i`-th aggregate view of the query (0-based).
+    View(u32),
+    /// The query's top-level group-by `G0`.
+    Top,
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewId::View(i) => write!(f, "Q{}", i + 1),
+            ViewId::Top => write!(f, "G0"),
+        }
+    }
+}
+
+/// A column of a base relation instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColRef {
+    /// Which relation instance.
+    pub rel: RelId,
+    /// Column ordinal within that instance's base-table schema.
+    pub col: u32,
+}
+
+impl ColRef {
+    pub fn new(rel: RelId, col: usize) -> ColRef {
+        ColRef {
+            rel,
+            col: col as u32,
+        }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.c{}", self.rel, self.col)
+    }
+}
+
+/// An aggregated column: the `idx`-th aggregate computed by group-by
+/// operator `owner`.
+///
+/// Example: in the paper's `A1(dno, Asal)` view, `Asal = avg(e2.sal)` is
+/// `AggRef { owner: ViewId::View(0), idx: 0 }` — whether the AVG is
+/// evaluated inside the view (traditional plan) or deferred past the join
+/// by pull-up, the reference is stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AggRef {
+    /// The group-by operator that defines this aggregate.
+    pub owner: ViewId,
+    /// Ordinal among that operator's aggregate list.
+    pub idx: u32,
+}
+
+impl AggRef {
+    pub fn new(owner: ViewId, idx: usize) -> AggRef {
+        AggRef {
+            owner,
+            idx: idx as u32,
+        }
+    }
+}
+
+impl fmt::Display for AggRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#a{}", self.owner, self.idx)
+    }
+}
+
+/// A component of a decomposed (partial) aggregate state.
+///
+/// The *simple coalescing grouping* transformation (paper Section 4.2)
+/// adds a group-by `G2` below a join that computes **partial** aggregate
+/// states (e.g. `(sum, count)` for AVG); the original group-by `G1`
+/// later coalesces them. Partial state components travel through join
+/// operators like ordinary columns, so they need data-flow identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartRef {
+    /// The logical aggregate being decomposed.
+    pub agg: AggRef,
+    /// Which component of its partial state (0-based; e.g. AVG has
+    /// component 0 = running sum, component 1 = running count).
+    pub part: u32,
+}
+
+impl fmt::Display for PartRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}~p{}", self.agg, self.part)
+    }
+}
+
+/// A data-flow column in a plan: a base column, an aggregate output, or
+/// one component of a partial aggregate state. Projection lists,
+/// grouping-column lists, and operator output descriptions are all
+/// `Vec<Col>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Col {
+    /// Column of a base relation instance.
+    Base(ColRef),
+    /// Output of a group-by operator's aggregate list.
+    Agg(AggRef),
+    /// Component of a partial (decomposed) aggregate state.
+    Part(PartRef),
+}
+
+impl Col {
+    /// Convenience constructor for a base column.
+    pub fn base(rel: RelId, col: usize) -> Col {
+        Col::Base(ColRef::new(rel, col))
+    }
+
+    /// Convenience constructor for an aggregate column.
+    pub fn agg(owner: ViewId, idx: usize) -> Col {
+        Col::Agg(AggRef::new(owner, idx))
+    }
+
+    /// Convenience constructor for a partial-state component column.
+    pub fn part(agg: AggRef, part: usize) -> Col {
+        Col::Part(PartRef {
+            agg,
+            part: part as u32,
+        })
+    }
+
+    /// The base column, if this is one.
+    pub fn as_base(&self) -> Option<ColRef> {
+        match self {
+            Col::Base(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The aggregate reference, if this is one.
+    pub fn as_agg(&self) -> Option<AggRef> {
+        match self {
+            Col::Agg(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// True if this is an aggregate output column.
+    pub fn is_agg(&self) -> bool {
+        matches!(self, Col::Agg(_))
+    }
+
+    /// True if this is a partial-aggregate state component.
+    pub fn is_part(&self) -> bool {
+        matches!(self, Col::Part(_))
+    }
+}
+
+impl fmt::Display for Col {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Col::Base(c) => c.fmt(f),
+            Col::Agg(a) => a.fmt(f),
+            Col::Part(p) => p.fmt(f),
+        }
+    }
+}
+
+impl From<ColRef> for Col {
+    fn from(c: ColRef) -> Col {
+        Col::Base(c)
+    }
+}
+
+impl From<AggRef> for Col {
+    fn from(a: AggRef) -> Col {
+        Col::Agg(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relid_bits_are_disjoint() {
+        let bits: u64 = (0..8).map(|i| RelId(i).bit()).fold(0, |a, b| {
+            assert_eq!(a & b, 0, "bit overlap");
+            a | b
+        });
+        assert_eq!(bits, 0xff);
+    }
+
+    #[test]
+    fn col_accessors() {
+        let b = Col::base(RelId(2), 3);
+        let a = Col::agg(ViewId::View(0), 1);
+        assert_eq!(b.as_base(), Some(ColRef::new(RelId(2), 3)));
+        assert_eq!(b.as_agg(), None);
+        assert_eq!(a.as_agg(), Some(AggRef::new(ViewId::View(0), 1)));
+        assert!(a.is_agg());
+        assert!(!b.is_agg());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Col::base(RelId(1), 0).to_string(), "r1.c0");
+        assert_eq!(Col::agg(ViewId::View(0), 0).to_string(), "Q1#a0");
+        assert_eq!(Col::agg(ViewId::Top, 2).to_string(), "G0#a2");
+    }
+
+    #[test]
+    fn conversions_into_col() {
+        let c: Col = ColRef::new(RelId(0), 1).into();
+        assert!(!c.is_agg());
+        let a: Col = AggRef::new(ViewId::Top, 0).into();
+        assert!(a.is_agg());
+    }
+
+    #[test]
+    fn ordering_is_stable_for_sorting() {
+        let mut v = [
+            Col::agg(ViewId::Top, 0),
+            Col::base(RelId(1), 1),
+            Col::base(RelId(0), 2),
+        ];
+        v.sort();
+        assert_eq!(v[0], Col::base(RelId(0), 2));
+        assert_eq!(v[1], Col::base(RelId(1), 1));
+    }
+}

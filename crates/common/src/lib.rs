@@ -1,0 +1,35 @@
+//! Shared vocabulary for the `aggview` workspace.
+//!
+//! This crate defines the data model used by every other crate in the
+//! reproduction of Chaudhuri & Shim, *Optimizing Queries with Aggregate
+//! Views* (EDBT 1996):
+//!
+//! * [`Value`] / [`DataType`] — the scalar type system (no NULLs, per the
+//!   paper's Section 2 simplifying assumptions),
+//! * [`Schema`] / [`Field`] — relation schemas,
+//! * [`ColRef`] / [`Col`] / [`AggRef`] — column identity across query
+//!   blocks (base columns vs. aggregated columns),
+//! * [`Expr`] / [`Predicate`] — scalar expressions and conjunctive
+//!   comparison predicates,
+//! * [`AggFunc`] / [`AggSpec`] — aggregate functions, including the
+//!   decomposability machinery needed by the *simple coalescing grouping*
+//!   transformation (partial/combine/finalize states),
+//! * [`AggViewError`] — the workspace-wide error type.
+
+pub mod agg;
+pub mod error;
+pub mod expr;
+pub mod ids;
+pub mod predicate;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use agg::{AggAccumulator, AggFunc, AggSpec, PartialAggState};
+pub use error::{AggViewError, Result};
+pub use expr::{BinaryOp, Expr};
+pub use ids::{AggRef, Col, ColRef, PartRef, RelId, ViewId};
+pub use predicate::{CmpOp, Predicate};
+pub use schema::{Field, Schema};
+pub use tuple::Tuple;
+pub use value::{DataType, Value};

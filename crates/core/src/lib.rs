@@ -1,0 +1,40 @@
+//! # aggview-core — the paper's contribution
+//!
+//! Cost-based optimization of queries with aggregate views, after
+//! Chaudhuri & Shim (EDBT 1996). The crate is organized along the
+//! paper's sections:
+//!
+//! * [`plan`] — operator trees (join + group-by with annotated grouping
+//!   columns, aggregates, HAVING predicates and projection lists; the
+//!   paper's Section 2 algebraic view), including *legal operator tree*
+//!   validation,
+//! * [`query`] — the canonical multi-block query form of Figure 3: a join
+//!   among base tables and aggregate views under an optional top group-by,
+//! * [`transform`] — Section 3's **pull-up** transformation
+//!   (Definition 1) and Section 4's **push-down** transformations
+//!   (invariant grouping, simple coalescing grouping), plus the *minimal
+//!   invariant set* computation,
+//! * [`cost`] — the IO-only cost model (Section 5's optimization
+//!   criterion): page-based operator costs shared with the executor, and
+//!   statistics-driven cardinality estimation,
+//! * [`optimizer`] — Section 5's algorithms: Selinger-style DP join
+//!   enumeration ([SAC+79]), the greedy conservative heuristic
+//!   (Section 5.2 / \[CS94\]), the two-phase algorithm for one aggregate
+//!   view (Section 5.3), its generalization to multiple views
+//!   (Section 5.4), the traditional two-phase baseline, and search-space
+//!   accounting with the paper's practical restrictions (k-level pull-up,
+//!   predicate-connectivity gating).
+
+pub mod cost;
+pub mod optimizer;
+pub mod plan;
+pub mod query;
+pub mod transform;
+
+pub use cost::{CardEstimator, CostModel, PlanProps};
+pub use optimizer::multi_view::{optimize, Optimized};
+pub use optimizer::single_view::optimize_single_view;
+pub use optimizer::traditional::optimize_traditional;
+pub use optimizer::{OptimizerConfig, PullUpLevel, SearchStats};
+pub use plan::{AggAlgo, GroupBySpec, JoinAlgo, PartialGroupSpec, Plan};
+pub use query::{CanonicalQuery, QueryEnv, TopGroup, ViewDef};

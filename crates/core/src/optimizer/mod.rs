@@ -1,0 +1,143 @@
+//! Optimization algorithms for queries with aggregate views (paper
+//! Section 5).
+//!
+//! * [`dp`] — the [SAC+79] dynamic-programming enumerator for SPJ blocks
+//!   (linear join orders), the substrate everything else extends;
+//! * [`greedy`] — Section 5.2: single-block queries with a group-by,
+//!   searched over *linear aggregate join trees* with the **greedy
+//!   conservative heuristic** (early group-by placement kept only when
+//!   cheaper and no wider, which preserves the never-worse guarantee);
+//! * [`traditional`] — the baseline two-phase optimizer: each view
+//!   optimized locally as an SPJ block, then the outer block over
+//!   views-as-base-relations;
+//! * [`single_view`] — Section 5.3: pull-up enumeration `Φ(V₀, W)` for a
+//!   query with one aggregate view;
+//! * [`multi_view`] — Section 5.4: the general case, with disjoint
+//!   pulled-up sets per view;
+//! * [`stats`] — search-effort accounting (plans built, subsets
+//!   explored) used by experiment E5.
+
+pub mod dp;
+pub mod greedy;
+pub mod multi_view;
+pub mod single_view;
+pub mod stats;
+pub mod traditional;
+
+pub use stats::SearchStats;
+
+use aggview_common::RelId;
+
+/// How aggressively pull-up may be applied (the paper's "k-level
+/// pull-up" restriction: "no partial plan may involve more than k
+/// applications of pull-up").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PullUpLevel {
+    /// Never pull up (push-down-only optimizer: the paper's "immediate
+    /// improvement" configuration).
+    Disabled,
+    /// At most `k` relations pulled through each view.
+    Limited(u32),
+    /// Any subset of eligible relations may be pulled up.
+    Unlimited,
+}
+
+impl PullUpLevel {
+    /// Maximum number of relations that may be pulled through a view.
+    pub fn cap(self, available: usize) -> usize {
+        match self {
+            PullUpLevel::Disabled => 0,
+            PullUpLevel::Limited(k) => (k as usize).min(available),
+            PullUpLevel::Unlimited => available,
+        }
+    }
+}
+
+/// Optimizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerConfig {
+    /// Pull-up aggressiveness (k-level restriction).
+    pub pull_up: PullUpLevel,
+    /// Enable the push-down transformations inside block enumeration
+    /// (invariant grouping and simple coalescing via the greedy
+    /// conservative heuristic). Disabling both push-down and pull-up
+    /// yields exactly the traditional optimizer.
+    pub push_down: bool,
+    /// Only pull a relation through a view when it shares a predicate
+    /// with the view ("we do not pull-up a relation through a view
+    /// unless they share a predicate").
+    pub require_shared_predicate: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            pull_up: PullUpLevel::Unlimited,
+            push_down: true,
+            require_shared_predicate: true,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// The traditional optimizer: no pull-up, no push-down.
+    pub fn traditional() -> Self {
+        OptimizerConfig {
+            pull_up: PullUpLevel::Disabled,
+            push_down: false,
+            require_shared_predicate: true,
+        }
+    }
+
+    /// Push-down only (greedy conservative heuristic, no pull-up) — the
+    /// paper's "immediate improvement" configuration.
+    pub fn push_down_only() -> Self {
+        OptimizerConfig {
+            pull_up: PullUpLevel::Disabled,
+            push_down: true,
+            require_shared_predicate: true,
+        }
+    }
+}
+
+/// Relations as a bitset, with helpers shared by the enumerators.
+pub(crate) fn bitset(rels: &[RelId]) -> u64 {
+    rels.iter().map(|r| r.bit()).fold(0, |a, b| a | b)
+}
+
+/// Iterate the relations in a bitset.
+pub(crate) fn rels_of(set: u64) -> impl Iterator<Item = RelId> {
+    (0..64).filter(move |i| set & (1u64 << i) != 0).map(RelId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pull_up_level_caps() {
+        assert_eq!(PullUpLevel::Disabled.cap(5), 0);
+        assert_eq!(PullUpLevel::Limited(2).cap(5), 2);
+        assert_eq!(PullUpLevel::Limited(9).cap(5), 5);
+        assert_eq!(PullUpLevel::Unlimited.cap(5), 5);
+    }
+
+    #[test]
+    fn config_presets() {
+        let t = OptimizerConfig::traditional();
+        assert_eq!(t.pull_up, PullUpLevel::Disabled);
+        assert!(!t.push_down);
+        let p = OptimizerConfig::push_down_only();
+        assert!(p.push_down);
+        let d = OptimizerConfig::default();
+        assert_eq!(d.pull_up, PullUpLevel::Unlimited);
+    }
+
+    #[test]
+    fn bitset_round_trip() {
+        let rels = vec![RelId(0), RelId(3), RelId(7)];
+        let set = bitset(&rels);
+        let back: Vec<RelId> = rels_of(set).collect();
+        assert_eq!(back, rels);
+    }
+}

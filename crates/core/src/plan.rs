@@ -1,0 +1,838 @@
+//! Operator trees ("execution plans").
+//!
+//! The paper views queries algebraically "in terms of operators. An
+//! operator tree reflects the partial order on evaluation of operators in
+//! a query" (Section 2). Two operators matter: **join** (with a list of
+//! join predicates) and **group-by** (with grouping columns, aggregating
+//! columns, aggregate functions and HAVING predicates). Projection is
+//! not an explicit operator: "each join as well as each group-by operator
+//! has an associated list of projection columns" — here the `project`
+//! field of every node, which doubles as the node's output layout.
+//!
+//! [`Plan::validate`] implements the paper's *legal operator tree*
+//! notion: every column a node consumes must be produced below it, and a
+//! predicate over aggregated columns may only appear at or above the
+//! group-by that computes the aggregate.
+
+use aggview_common::{
+    AggRef, AggSpec, AggViewError, Col, ColRef, Predicate, RelId, Result, ViewId,
+};
+use aggview_storage::Catalog;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Physical join algorithm annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinAlgo {
+    /// Let the executor pick the cheapest given actual input sizes.
+    Auto,
+    /// Tuple-at-a-time nested loops (educational baseline; never chosen
+    /// by the cost-based optimizer when an alternative applies).
+    NestedLoop,
+    /// Block nested loops: outer in memory-sized chunks, inner rescanned
+    /// per chunk.
+    BlockNested,
+    /// Grace/hybrid hash join on equality predicates.
+    Hash,
+    /// Sort-merge join on equality predicates.
+    SortMerge,
+}
+
+impl fmt::Display for JoinAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinAlgo::Auto => "auto",
+            JoinAlgo::NestedLoop => "nl",
+            JoinAlgo::BlockNested => "bnl",
+            JoinAlgo::Hash => "hash",
+            JoinAlgo::SortMerge => "merge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Physical aggregation algorithm annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggAlgo {
+    /// Let the executor pick.
+    Auto,
+    /// Hash aggregation (partitioned when the table exceeds memory).
+    Hash,
+    /// Sort-based aggregation.
+    Sort,
+}
+
+impl fmt::Display for AggAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggAlgo::Auto => "auto",
+            AggAlgo::Hash => "hash",
+            AggAlgo::Sort => "sort",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A group-by operator's annotations (paper Section 2): grouping
+/// columns, aggregate specifications, and HAVING predicates.
+///
+/// `owner` gives the operator its identity in [`AggRef`] space: the
+/// `idx`-th entry of `aggs` produces column `Col::Agg(AggRef { owner,
+/// idx })`. Transformations that *move* the operator (pull-up) keep
+/// `owner` stable, so references to its outputs survive the move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupBySpec {
+    /// Which logical group-by this is (view `Qi` or the top `G0`).
+    pub owner: ViewId,
+    /// Grouping columns.
+    pub group_cols: Vec<Col>,
+    /// Aggregate computations, in `AggRef::idx` order.
+    pub aggs: Vec<AggSpec>,
+    /// HAVING predicates, evaluated per group (may reference grouping
+    /// columns and this operator's aggregate outputs).
+    pub having: Vec<Predicate>,
+}
+
+impl GroupBySpec {
+    /// The aggregate output columns this operator produces.
+    pub fn agg_cols(&self) -> Vec<Col> {
+        (0..self.aggs.len())
+            .map(|i| Col::agg(self.owner, i))
+            .collect()
+    }
+
+    /// Reference to the `i`-th aggregate output.
+    pub fn agg_ref(&self, i: usize) -> AggRef {
+        AggRef::new(self.owner, i)
+    }
+}
+
+/// A *partial* group-by added by simple coalescing grouping (paper
+/// Section 4.2): computes decomposed aggregate states that an upper
+/// group-by with the same `AggRef` identities later coalesces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialGroupSpec {
+    /// Grouping columns (must include the original grouping columns
+    /// restricted to this side plus any join columns that flow upward).
+    pub group_cols: Vec<Col>,
+    /// The logical aggregates being decomposed, with their identities.
+    pub aggs: Vec<(AggRef, AggSpec)>,
+}
+
+impl PartialGroupSpec {
+    /// The partial-state component columns produced for aggregate `i`.
+    pub fn part_cols(&self, i: usize) -> Vec<Col> {
+        let (aref, spec) = &self.aggs[i];
+        (0..spec.func.partial_arity())
+            .map(|k| Col::part(*aref, k))
+            .collect()
+    }
+
+    /// All partial-state columns produced, in aggregate order.
+    pub fn all_part_cols(&self) -> Vec<Col> {
+        (0..self.aggs.len())
+            .flat_map(|i| self.part_cols(i))
+            .collect()
+    }
+}
+
+/// An execution plan / operator tree.
+///
+/// Every node carries its projection list, which is also its output
+/// layout: executing a node yields tuples whose `i`-th value corresponds
+/// to `project[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan a base relation instance, applying pushed-down selection
+    /// predicates, producing `project`.
+    Scan {
+        /// The relation instance this scan produces.
+        rel: RelId,
+        /// Base table name (resolved through the catalog).
+        table: String,
+        /// Local selection predicates (reference only `rel`).
+        filters: Vec<Predicate>,
+        /// Output columns (base columns of `rel`).
+        project: Vec<Col>,
+    },
+    /// Join two subtrees on a conjunction of predicates.
+    Join {
+        algo: JoinAlgo,
+        left: Box<Plan>,
+        right: Box<Plan>,
+        /// Join predicates (columns from both sides; never aggregate
+        /// outputs that are not yet computed below).
+        preds: Vec<Predicate>,
+        /// Output columns (subset of the union of child outputs).
+        project: Vec<Col>,
+    },
+    /// Full group-by: produces one tuple per group surviving HAVING.
+    GroupBy {
+        algo: AggAlgo,
+        input: Box<Plan>,
+        spec: GroupBySpec,
+        /// Output columns (grouping columns and aggregate outputs).
+        project: Vec<Col>,
+    },
+    /// Partial group-by (simple coalescing): produces partial aggregate
+    /// states, no HAVING (predicates over aggregates must wait for the
+    /// coalescing operator).
+    PartialGroupBy {
+        algo: AggAlgo,
+        input: Box<Plan>,
+        spec: PartialGroupSpec,
+        /// Output columns (grouping columns and partial-state columns).
+        project: Vec<Col>,
+    },
+}
+
+impl Plan {
+    /// Scan with explicit projection.
+    pub fn scan(
+        rel: RelId,
+        table: impl Into<String>,
+        filters: Vec<Predicate>,
+        project: Vec<Col>,
+    ) -> Plan {
+        Plan::Scan {
+            rel,
+            table: table.into(),
+            filters,
+            project,
+        }
+    }
+
+    /// Join with explicit projection.
+    pub fn join(left: Plan, right: Plan, preds: Vec<Predicate>, project: Vec<Col>) -> Plan {
+        Plan::Join {
+            algo: JoinAlgo::Auto,
+            left: Box::new(left),
+            right: Box::new(right),
+            preds,
+            project,
+        }
+    }
+
+    /// Join projecting everything both children produce.
+    pub fn join_all(left: Plan, right: Plan, preds: Vec<Predicate>) -> Plan {
+        let mut project = left.output_cols().to_vec();
+        project.extend_from_slice(right.output_cols());
+        Plan::join(left, right, preds, project)
+    }
+
+    /// Group-by projecting all grouping columns and aggregate outputs.
+    pub fn group_by_all(input: Plan, spec: GroupBySpec) -> Plan {
+        let mut project = spec.group_cols.clone();
+        project.extend(spec.agg_cols());
+        Plan::GroupBy {
+            algo: AggAlgo::Auto,
+            input: Box::new(input),
+            spec,
+            project,
+        }
+    }
+
+    /// Group-by with explicit projection.
+    pub fn group_by(input: Plan, spec: GroupBySpec, project: Vec<Col>) -> Plan {
+        Plan::GroupBy {
+            algo: AggAlgo::Auto,
+            input: Box::new(input),
+            spec,
+            project,
+        }
+    }
+
+    /// Partial group-by projecting all grouping and partial columns.
+    pub fn partial_group_by_all(input: Plan, spec: PartialGroupSpec) -> Plan {
+        let mut project = spec.group_cols.clone();
+        project.extend(spec.all_part_cols());
+        Plan::PartialGroupBy {
+            algo: AggAlgo::Auto,
+            input: Box::new(input),
+            spec,
+            project,
+        }
+    }
+
+    /// This node's output layout.
+    pub fn output_cols(&self) -> &[Col] {
+        match self {
+            Plan::Scan { project, .. }
+            | Plan::Join { project, .. }
+            | Plan::GroupBy { project, .. }
+            | Plan::PartialGroupBy { project, .. } => project,
+        }
+    }
+
+    /// Replace this node's projection list (validation will catch
+    /// projections of unavailable columns).
+    pub fn with_project(mut self, new_project: Vec<Col>) -> Plan {
+        match &mut self {
+            Plan::Scan { project, .. }
+            | Plan::Join { project, .. }
+            | Plan::GroupBy { project, .. }
+            | Plan::PartialGroupBy { project, .. } => *project = new_project,
+        }
+        self
+    }
+
+    /// Bitset of base relation instances covered by this subtree.
+    pub fn rel_set(&self) -> u64 {
+        match self {
+            Plan::Scan { rel, .. } => rel.bit(),
+            Plan::Join { left, right, .. } => left.rel_set() | right.rel_set(),
+            Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => input.rel_set(),
+        }
+    }
+
+    /// All base relation instances covered, ascending.
+    pub fn rels(&self) -> Vec<RelId> {
+        let set = self.rel_set();
+        (0..64).filter(|i| set & (1 << i) != 0).map(RelId).collect()
+    }
+
+    /// Number of group-by operators (full or partial) in the tree.
+    pub fn group_by_count(&self) -> usize {
+        match self {
+            Plan::Scan { .. } => 0,
+            Plan::Join { left, right, .. } => left.group_by_count() + right.group_by_count(),
+            Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => {
+                1 + input.group_by_count()
+            }
+        }
+    }
+
+    /// Number of join operators in the tree.
+    pub fn join_count(&self) -> usize {
+        match self {
+            Plan::Scan { .. } => 0,
+            Plan::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+            Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => input.join_count(),
+        }
+    }
+
+    /// Check that this is a *legal operator tree* (paper Section 2):
+    /// every consumed column is produced below, scan filters are local,
+    /// join predicates don't reference unavailable aggregates, group-by
+    /// HAVING only sees group keys and own aggregates.
+    pub fn validate(&self, catalog: &Catalog, rel_tables: &[String]) -> Result<()> {
+        self.validate_inner(catalog, rel_tables)?;
+        Ok(())
+    }
+
+    /// Validation worker: returns the set of columns this node outputs.
+    fn validate_inner(&self, catalog: &Catalog, rel_tables: &[String]) -> Result<BTreeSet<Col>> {
+        match self {
+            Plan::Scan {
+                rel,
+                table,
+                filters,
+                project,
+            } => {
+                let t = catalog.get(table)?;
+                let declared = rel_tables.get(rel.idx()).ok_or_else(|| {
+                    AggViewError::Plan(format!("scan of undeclared relation {rel}"))
+                })?;
+                if !declared.eq_ignore_ascii_case(table) {
+                    return Err(AggViewError::Plan(format!(
+                        "scan of {rel} names table `{table}` but query binds it to `{declared}`"
+                    )));
+                }
+                let arity = t.schema().len();
+                let avail: BTreeSet<Col> = (0..arity).map(|c| Col::base(*rel, c)).collect();
+                for p in filters {
+                    let used = p.cols_used();
+                    if !used.iter().all(|c| avail.contains(c)) {
+                        return Err(AggViewError::Plan(format!(
+                            "scan filter `{p}` references columns outside {rel}"
+                        )));
+                    }
+                }
+                let out: BTreeSet<Col> = project.iter().copied().collect();
+                if !out.iter().all(|c| avail.contains(c)) {
+                    return Err(AggViewError::Plan(format!(
+                        "scan of {rel} projects columns it does not produce"
+                    )));
+                }
+                Ok(out)
+            }
+            Plan::Join {
+                left,
+                right,
+                preds,
+                project,
+                ..
+            } => {
+                let l = left.validate_inner(catalog, rel_tables)?;
+                let r = right.validate_inner(catalog, rel_tables)?;
+                if left.rel_set() & right.rel_set() != 0 {
+                    return Err(AggViewError::Plan(
+                        "join children overlap in base relations".into(),
+                    ));
+                }
+                let mut avail = l;
+                avail.extend(r.iter().copied());
+                for p in preds {
+                    for c in p.cols_used() {
+                        if !avail.contains(&c) {
+                            return Err(AggViewError::Plan(format!(
+                                "join predicate `{p}` references unavailable column {c}"
+                            )));
+                        }
+                    }
+                }
+                for c in project {
+                    if !avail.contains(c) {
+                        return Err(AggViewError::Plan(format!(
+                            "join projects unavailable column {c}"
+                        )));
+                    }
+                }
+                Ok(project.iter().copied().collect())
+            }
+            Plan::GroupBy {
+                input,
+                spec,
+                project,
+                ..
+            } => {
+                let child = input.validate_inner(catalog, rel_tables)?;
+                for g in &spec.group_cols {
+                    if !child.contains(g) {
+                        return Err(AggViewError::Plan(format!(
+                            "group-by {} groups on unavailable column {g}",
+                            spec.owner
+                        )));
+                    }
+                }
+                for (i, a) in spec.aggs.iter().enumerate() {
+                    let aref = spec.agg_ref(i);
+                    let partial_first = Col::part(aref, 0);
+                    if child.contains(&partial_first) {
+                        // Coalescing input: all components must be present.
+                        for k in 0..a.func.partial_arity() {
+                            if !child.contains(&Col::part(aref, k)) {
+                                return Err(AggViewError::Plan(format!(
+                                    "group-by {} misses partial component {k} of {aref}",
+                                    spec.owner
+                                )));
+                            }
+                        }
+                    } else {
+                        for c in a.cols_used() {
+                            if !child.contains(&c) {
+                                return Err(AggViewError::Plan(format!(
+                                    "aggregate `{a}` of {} reads unavailable column {c}",
+                                    spec.owner
+                                )));
+                            }
+                        }
+                    }
+                }
+                let mut avail: BTreeSet<Col> = spec.group_cols.iter().copied().collect();
+                avail.extend(spec.agg_cols());
+                for h in &spec.having {
+                    for c in h.cols_used() {
+                        if !avail.contains(&c) {
+                            return Err(AggViewError::Plan(format!(
+                                "HAVING `{h}` of {} references {c}, which is neither a \
+                                 grouping column nor an aggregate of this operator",
+                                spec.owner
+                            )));
+                        }
+                    }
+                }
+                for c in project {
+                    if !avail.contains(c) {
+                        return Err(AggViewError::Plan(format!(
+                            "group-by {} projects unavailable column {c}",
+                            spec.owner
+                        )));
+                    }
+                }
+                Ok(project.iter().copied().collect())
+            }
+            Plan::PartialGroupBy {
+                input,
+                spec,
+                project,
+                ..
+            } => {
+                let child = input.validate_inner(catalog, rel_tables)?;
+                for g in &spec.group_cols {
+                    if !child.contains(g) {
+                        return Err(AggViewError::Plan(format!(
+                            "partial group-by groups on unavailable column {g}"
+                        )));
+                    }
+                }
+                for (_, a) in &spec.aggs {
+                    if !a.func.is_decomposable() {
+                        return Err(AggViewError::Plan(format!(
+                            "partial group-by over non-decomposable aggregate `{a}`"
+                        )));
+                    }
+                    for c in a.cols_used() {
+                        if !child.contains(&c) {
+                            return Err(AggViewError::Plan(format!(
+                                "partial aggregate `{a}` reads unavailable column {c}"
+                            )));
+                        }
+                    }
+                }
+                let mut avail: BTreeSet<Col> = spec.group_cols.iter().copied().collect();
+                avail.extend(spec.all_part_cols());
+                for c in project {
+                    if !avail.contains(c) {
+                        return Err(AggViewError::Plan(format!(
+                            "partial group-by projects unavailable column {c}"
+                        )));
+                    }
+                }
+                Ok(project.iter().copied().collect())
+            }
+        }
+    }
+
+    /// Multi-line indented rendering for debugging and EXPLAIN-style
+    /// output.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan {
+                rel,
+                table,
+                filters,
+                ..
+            } => {
+                let _ = write!(out, "{pad}Scan {table} as {rel}");
+                if !filters.is_empty() {
+                    let fs: Vec<String> = filters.iter().map(|p| p.to_string()).collect();
+                    let _ = write!(out, " filter [{}]", fs.join(" AND "));
+                }
+                let _ = writeln!(out);
+            }
+            Plan::Join {
+                algo,
+                left,
+                right,
+                preds,
+                ..
+            } => {
+                let ps: Vec<String> = preds.iter().map(|p| p.to_string()).collect();
+                let _ = writeln!(out, "{pad}Join[{algo}] on [{}]", ps.join(" AND "));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::GroupBy {
+                algo, input, spec, ..
+            } => {
+                let gs: Vec<String> = spec.group_cols.iter().map(|c| c.to_string()).collect();
+                let aggs: Vec<String> = spec.aggs.iter().map(|a| a.to_string()).collect();
+                let _ = write!(
+                    out,
+                    "{pad}GroupBy[{algo}] {} by [{}] agg [{}]",
+                    spec.owner,
+                    gs.join(", "),
+                    aggs.join(", ")
+                );
+                if !spec.having.is_empty() {
+                    let hs: Vec<String> = spec.having.iter().map(|p| p.to_string()).collect();
+                    let _ = write!(out, " having [{}]", hs.join(" AND "));
+                }
+                let _ = writeln!(out);
+                input.explain_into(out, depth + 1);
+            }
+            Plan::PartialGroupBy {
+                algo, input, spec, ..
+            } => {
+                let gs: Vec<String> = spec.group_cols.iter().map(|c| c.to_string()).collect();
+                let aggs: Vec<String> = spec
+                    .aggs
+                    .iter()
+                    .map(|(r, a)| format!("{a} as {r}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}PartialGroupBy[{algo}] by [{}] agg [{}]",
+                    gs.join(", "),
+                    aggs.join(", ")
+                );
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Columns of a base table as `Col`s, for plan construction.
+pub fn all_cols(rel: RelId, arity: usize) -> Vec<Col> {
+    (0..arity).map(|c| Col::base(rel, c)).collect()
+}
+
+/// The base column positions (within their table schemas) of a set of
+/// grouping columns restricted to relation `rel`.
+pub fn positions_of(cols: &[Col], rel: RelId) -> Vec<usize> {
+    cols.iter()
+        .filter_map(|c| c.as_base())
+        .filter(|c: &ColRef| c.rel == rel)
+        .map(|c| c.col as usize)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_common::{AggFunc, CmpOp, DataType, Expr, Schema, Value};
+    use aggview_storage::Table;
+
+    /// emp(eno, name, dno, sal, age), dept(dno, dname, budget, loc)
+    fn setup() -> (Catalog, Vec<String>) {
+        let catalog = Catalog::new();
+        catalog
+            .add(
+                Table::builder(
+                    "emp",
+                    Schema::of(&[
+                        ("eno", DataType::Int),
+                        ("name", DataType::Str),
+                        ("dno", DataType::Int),
+                        ("sal", DataType::Float),
+                        ("age", DataType::Int),
+                    ]),
+                )
+                .primary_key(&["eno"])
+                .unwrap()
+                .build()
+                .unwrap(),
+            )
+            .unwrap();
+        catalog
+            .add(
+                Table::builder(
+                    "dept",
+                    Schema::of(&[
+                        ("dno", DataType::Int),
+                        ("dname", DataType::Str),
+                        ("budget", DataType::Float),
+                        ("loc", DataType::Str),
+                    ]),
+                )
+                .primary_key(&["dno"])
+                .unwrap()
+                .build()
+                .unwrap(),
+            )
+            .unwrap();
+        (catalog, vec!["emp".into(), "dept".into()])
+    }
+
+    fn emp_scan() -> Plan {
+        Plan::scan(RelId(0), "emp", vec![], all_cols(RelId(0), 5))
+    }
+
+    fn dept_scan() -> Plan {
+        Plan::scan(RelId(1), "dept", vec![], all_cols(RelId(1), 4))
+    }
+
+    #[test]
+    fn legal_spj_tree_validates() {
+        let (cat, rels) = setup();
+        let join = Plan::join_all(
+            emp_scan(),
+            dept_scan(),
+            vec![Predicate::eq_cols(
+                Col::base(RelId(0), 2),
+                Col::base(RelId(1), 0),
+            )],
+        );
+        join.validate(&cat, &rels).unwrap();
+        assert_eq!(join.rels(), vec![RelId(0), RelId(1)]);
+        assert_eq!(join.join_count(), 1);
+        assert_eq!(join.group_by_count(), 0);
+    }
+
+    #[test]
+    fn scan_filter_must_be_local() {
+        let (cat, rels) = setup();
+        let bad = Plan::scan(
+            RelId(0),
+            "emp",
+            vec![Predicate::eq_cols(
+                Col::base(RelId(0), 2),
+                Col::base(RelId(1), 0),
+            )],
+            all_cols(RelId(0), 5),
+        );
+        assert!(bad.validate(&cat, &rels).is_err());
+    }
+
+    #[test]
+    fn join_children_must_be_disjoint() {
+        let (cat, rels) = setup();
+        let bad = Plan::join_all(emp_scan(), emp_scan(), vec![]);
+        let err = bad.validate(&cat, &rels).unwrap_err();
+        assert!(err.message().contains("overlap"));
+    }
+
+    #[test]
+    fn group_by_validates_and_exports_aggs() {
+        let (cat, rels) = setup();
+        let spec = GroupBySpec {
+            owner: ViewId::View(0),
+            group_cols: vec![Col::base(RelId(0), 2)],
+            aggs: vec![AggSpec::new(
+                AggFunc::Avg,
+                Expr::col(Col::base(RelId(0), 3)),
+            )],
+            having: vec![],
+        };
+        let g = Plan::group_by_all(emp_scan(), spec);
+        g.validate(&cat, &rels).unwrap();
+        assert_eq!(
+            g.output_cols(),
+            &[Col::base(RelId(0), 2), Col::agg(ViewId::View(0), 0)]
+        );
+        assert_eq!(g.group_by_count(), 1);
+    }
+
+    #[test]
+    fn having_may_only_see_group_keys_and_own_aggs() {
+        let (cat, rels) = setup();
+        let spec = GroupBySpec {
+            owner: ViewId::View(0),
+            group_cols: vec![Col::base(RelId(0), 2)],
+            aggs: vec![AggSpec::new(
+                AggFunc::Avg,
+                Expr::col(Col::base(RelId(0), 3)),
+            )],
+            // references emp.age, which is not a group key
+            having: vec![Predicate::cmp_const(
+                Col::base(RelId(0), 4),
+                CmpOp::Lt,
+                Value::Int(22),
+            )],
+        };
+        let g = Plan::group_by_all(emp_scan(), spec);
+        let err = g.validate(&cat, &rels).unwrap_err();
+        assert!(err.message().contains("HAVING"));
+    }
+
+    #[test]
+    fn join_predicate_over_uncomputed_aggregate_is_illegal() {
+        let (cat, rels) = setup();
+        // Join emp with dept comparing sal > Q1#a0, but no group-by below.
+        let bad = Plan::join_all(
+            emp_scan(),
+            dept_scan(),
+            vec![Predicate::new(
+                Expr::col(Col::base(RelId(0), 3)),
+                CmpOp::Gt,
+                Expr::col(Col::agg(ViewId::View(0), 0)),
+            )],
+        );
+        let err = bad.validate(&cat, &rels).unwrap_err();
+        assert!(err.message().contains("unavailable"));
+    }
+
+    #[test]
+    fn partial_group_by_produces_component_columns() {
+        let (cat, rels) = setup();
+        let aref = AggRef::new(ViewId::View(0), 0);
+        let spec = PartialGroupSpec {
+            group_cols: vec![Col::base(RelId(0), 2)],
+            aggs: vec![(
+                aref,
+                AggSpec::new(AggFunc::Avg, Expr::col(Col::base(RelId(0), 3))),
+            )],
+        };
+        let p = Plan::partial_group_by_all(emp_scan(), spec);
+        p.validate(&cat, &rels).unwrap();
+        assert_eq!(
+            p.output_cols(),
+            &[
+                Col::base(RelId(0), 2),
+                Col::part(aref, 0),
+                Col::part(aref, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn coalescing_pipeline_validates() {
+        // PartialGroupBy → Join → GroupBy coalescing.
+        let (cat, rels) = setup();
+        let aref = AggRef::new(ViewId::Top, 0);
+        let agg = AggSpec::new(AggFunc::Sum, Expr::col(Col::base(RelId(0), 3)));
+        let partial = Plan::partial_group_by_all(
+            emp_scan(),
+            PartialGroupSpec {
+                group_cols: vec![Col::base(RelId(0), 2)],
+                aggs: vec![(aref, agg.clone())],
+            },
+        );
+        let join = Plan::join_all(
+            partial,
+            dept_scan(),
+            vec![Predicate::eq_cols(
+                Col::base(RelId(0), 2),
+                Col::base(RelId(1), 0),
+            )],
+        );
+        let final_spec = GroupBySpec {
+            owner: ViewId::Top,
+            group_cols: vec![Col::base(RelId(0), 2)],
+            aggs: vec![agg],
+            having: vec![],
+        };
+        let plan = Plan::group_by_all(join, final_spec);
+        plan.validate(&cat, &rels).unwrap();
+        assert_eq!(plan.group_by_count(), 2);
+    }
+
+    #[test]
+    fn scan_table_must_match_binding() {
+        let (cat, rels) = setup();
+        let bad = Plan::scan(RelId(0), "dept", vec![], vec![Col::base(RelId(0), 0)]);
+        assert!(bad.validate(&cat, &rels).is_err());
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let join = Plan::join_all(
+            emp_scan(),
+            dept_scan(),
+            vec![Predicate::eq_cols(
+                Col::base(RelId(0), 2),
+                Col::base(RelId(1), 0),
+            )],
+        );
+        let text = join.explain();
+        assert!(text.contains("Join"));
+        assert!(text.contains("Scan emp"));
+        assert!(text.contains("Scan dept"));
+    }
+
+    #[test]
+    fn positions_of_filters_by_relation() {
+        let cols = vec![
+            Col::base(RelId(0), 2),
+            Col::base(RelId(1), 0),
+            Col::agg(ViewId::Top, 0),
+        ];
+        assert_eq!(positions_of(&cols, RelId(0)), vec![2]);
+        assert_eq!(positions_of(&cols, RelId(1)), vec![0]);
+    }
+
+    #[test]
+    fn with_project_replaces_layout() {
+        let s = emp_scan().with_project(vec![Col::base(RelId(0), 3)]);
+        assert_eq!(s.output_cols(), &[Col::base(RelId(0), 3)]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Cost-model invariants the optimization algorithms rely on.
+
+use aggview_common::{AggFunc, AggSpec, CmpOp, Col, Expr, Predicate, RelId, Value, ViewId};
+use aggview_core::cost::ops::IoParams;
+use aggview_core::cost::{CardEstimator, CostModel};
+use aggview_core::plan::{all_cols, GroupBySpec, Plan};
+use aggview_core::query::QueryEnv;
+use aggview_storage::datagen::{gen_empdept, EmpDeptConfig};
+use aggview_storage::{Catalog, PageModel};
+
+fn setup() -> (Catalog, QueryEnv) {
+    let cat = gen_empdept(&EmpDeptConfig {
+        n_depts: 40,
+        emps_per_dept: 25,
+        young_fraction: 0.2,
+        low_budget_fraction: 0.3,
+        seed: 61,
+    })
+    .unwrap();
+    (cat, QueryEnv::new(vec!["emp".into(), "dept".into()]))
+}
+
+fn model(mem: f64) -> CostModel {
+    CostModel {
+        page: PageModel::default(),
+        io: IoParams {
+            mem_pages: mem,
+            ..Default::default()
+        },
+    }
+}
+
+fn emp_scan(filters: Vec<Predicate>) -> Plan {
+    Plan::scan(RelId(0), "emp", filters, all_cols(RelId(0), 5))
+}
+
+fn dept_scan() -> Plan {
+    Plan::scan(RelId(1), "dept", vec![], all_cols(RelId(1), 4))
+}
+
+/// More memory never increases any plan's estimated cost (monotonicity —
+/// without it the principle of optimality across memory settings would
+/// be suspect).
+#[test]
+fn cost_monotone_in_memory() {
+    let (cat, env) = setup();
+    let join = Plan::join_all(
+        emp_scan(vec![]),
+        dept_scan(),
+        vec![Predicate::eq_cols(Col::base(RelId(0), 2), Col::base(RelId(1), 0))],
+    );
+    let gb = Plan::group_by_all(
+        join.clone(),
+        GroupBySpec {
+            owner: ViewId::Top,
+            group_cols: vec![Col::base(RelId(0), 2)],
+            aggs: vec![AggSpec::new(AggFunc::Avg, Expr::col(Col::base(RelId(0), 3)))],
+            having: vec![],
+        },
+    );
+    for plan in [join, gb] {
+        let mut prev = f64::INFINITY;
+        for mem in [2.0, 4.0, 16.0, 64.0, 1024.0] {
+            let est = CardEstimator::new(model(mem), &cat, &env);
+            let c = est.cost_plan(&plan).unwrap().cost;
+            assert!(c <= prev + 1e-9, "mem {mem}: {c} > {prev}");
+            prev = c;
+        }
+    }
+}
+
+/// Filters reduce estimated cardinality, never increase it; stacking
+/// filters compounds.
+#[test]
+fn filters_shrink_cardinality() {
+    let (cat, env) = setup();
+    let est = CardEstimator::new(model(64.0), &cat, &env);
+    let base = est.cost_plan(&emp_scan(vec![])).unwrap().card;
+    let one = est
+        .cost_plan(&emp_scan(vec![Predicate::cmp_const(
+            Col::base(RelId(0), 4),
+            CmpOp::Lt,
+            Value::Int(30),
+        )]))
+        .unwrap()
+        .card;
+    let two = est
+        .cost_plan(&emp_scan(vec![
+            Predicate::cmp_const(Col::base(RelId(0), 4), CmpOp::Lt, Value::Int(30)),
+            Predicate::cmp_const(Col::base(RelId(0), 3), CmpOp::Gt, Value::Float(150_000.0)),
+        ]))
+        .unwrap()
+        .card;
+    assert!(one < base);
+    assert!(two < one);
+    assert!(two >= 0.0);
+}
+
+/// The group-by output estimate never exceeds its input cardinality and
+/// never exceeds the grouping-domain product.
+#[test]
+fn group_estimate_bounded() {
+    let (cat, env) = setup();
+    let est = CardEstimator::new(model(64.0), &cat, &env);
+    let input = est.cost_plan(&emp_scan(vec![])).unwrap().card;
+    let gb = Plan::group_by_all(
+        emp_scan(vec![]),
+        GroupBySpec {
+            owner: ViewId::Top,
+            group_cols: vec![Col::base(RelId(0), 2)],
+            aggs: vec![AggSpec::count_star()],
+            having: vec![],
+        },
+    );
+    let groups = est.cost_plan(&gb).unwrap().card;
+    assert!(groups <= input);
+    assert!(groups <= 40.0 + 1e-9, "at most n_depts groups");
+    assert!(groups > 30.0, "nearly every department is realized");
+}
+
+/// A narrower projection never makes a plan cost more, and never widens
+/// the estimated row.
+#[test]
+fn projection_narrowing_is_free_or_better() {
+    let (cat, env) = setup();
+    let est = CardEstimator::new(model(4.0), &cat, &env);
+    let wide = Plan::join_all(
+        emp_scan(vec![]),
+        dept_scan(),
+        vec![Predicate::eq_cols(Col::base(RelId(0), 2), Col::base(RelId(1), 0))],
+    );
+    let narrow = wide
+        .clone()
+        .with_project(vec![Col::base(RelId(0), 2), Col::base(RelId(0), 3)]);
+    let w = est.cost_plan(&wide).unwrap();
+    let n = est.cost_plan(&narrow).unwrap();
+    assert!(n.width < w.width);
+    assert!(n.cost <= w.cost + 1e-9);
+    assert_eq!(n.card, w.card);
+}
+
+/// Join cardinality with an FK-style equality is about the child side's
+/// cardinality; applying the same predicate twice must not double-count
+/// selectivity (each predicate contributes once).
+#[test]
+fn join_cardinality_sane() {
+    let (cat, env) = setup();
+    let est = CardEstimator::new(model(64.0), &cat, &env);
+    let join = Plan::join_all(
+        emp_scan(vec![]),
+        dept_scan(),
+        vec![Predicate::eq_cols(Col::base(RelId(0), 2), Col::base(RelId(1), 0))],
+    );
+    let card = est.cost_plan(&join).unwrap().card;
+    let emp_rows = 40.0 * 25.0;
+    assert!(
+        (card - emp_rows).abs() / emp_rows < 0.1,
+        "FK join ≈ |emp|, got {card}"
+    );
+}

@@ -1,0 +1,793 @@
+//! The recursive plan evaluator.
+//!
+//! Evaluation is materialized (each operator consumes and produces
+//! `Vec<Tuple>`); IO is *accounted*, not performed: every operator
+//! charges the pages the paper's cost model says it would transfer,
+//! computed from the **actual** sizes of its inputs and outputs via the
+//! shared formulas in [`aggview_core::cost::ops`].
+
+use aggview_common::{AggViewError, Col, PartialAggState, Predicate, Result, Tuple, Value};
+use aggview_core::cost::ops::{self, JoinSides};
+use aggview_core::cost::CostModel;
+use aggview_core::plan::{AggAlgo, GroupBySpec, JoinAlgo, PartialGroupSpec, Plan};
+use aggview_core::query::QueryEnv;
+use aggview_storage::Catalog;
+use std::collections::HashMap;
+
+/// One operator's measured IO charge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoBreakdown {
+    /// Operator description (e.g. `scan emp`, `join[hash]`).
+    pub op: String,
+    /// Pages charged.
+    pub pages: f64,
+}
+
+/// The result of executing a plan.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    /// Output layout: `rows[i][k]` is the value of `cols[k]`.
+    pub cols: Vec<Col>,
+    /// Output tuples.
+    pub rows: Vec<Tuple>,
+    /// Total measured IO in pages.
+    pub io_pages: f64,
+    /// Per-operator breakdown, in post-order.
+    pub breakdown: Vec<IoBreakdown>,
+}
+
+impl ResultSet {
+    /// Position of a column in the layout.
+    pub fn col_index(&self, c: Col) -> Option<usize> {
+        self.cols.iter().position(|x| *x == c)
+    }
+}
+
+/// Plan evaluator bound to a catalog and query environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine<'a> {
+    pub catalog: &'a Catalog,
+    pub env: &'a QueryEnv,
+    pub model: CostModel,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(catalog: &'a Catalog, env: &'a QueryEnv, model: CostModel) -> Self {
+        Engine {
+            catalog,
+            env,
+            model,
+        }
+    }
+
+    /// Execute a plan, returning rows and measured IO.
+    pub fn execute(&self, plan: &Plan) -> Result<ResultSet> {
+        plan.validate(self.catalog, &self.env.rel_tables)?;
+        let mut breakdown = Vec::new();
+        let (cols, rows) = self.exec(plan, &mut breakdown)?;
+        let io_pages = breakdown.iter().map(|b| b.pages).sum();
+        Ok(ResultSet {
+            cols,
+            rows,
+            io_pages,
+            breakdown,
+        })
+    }
+
+    fn exec(
+        &self,
+        plan: &Plan,
+        breakdown: &mut Vec<IoBreakdown>,
+    ) -> Result<(Vec<Col>, Vec<Tuple>)> {
+        match plan {
+            Plan::Scan {
+                rel: _,
+                table,
+                filters,
+                project,
+            } => self.exec_scan(plan, table, filters, project, breakdown),
+            Plan::Join {
+                algo,
+                left,
+                right,
+                preds,
+                project,
+            } => self.exec_join(*algo, left, right, preds, project, breakdown),
+            Plan::GroupBy {
+                algo,
+                input,
+                spec,
+                project,
+            } => self.exec_group_by(*algo, input, spec, project, breakdown),
+            Plan::PartialGroupBy {
+                algo,
+                input,
+                spec,
+                project,
+            } => self.exec_partial_group_by(*algo, input, spec, project, breakdown),
+        }
+    }
+
+    fn exec_scan(
+        &self,
+        plan: &Plan,
+        table: &str,
+        filters: &[Predicate],
+        project: &[Col],
+        breakdown: &mut Vec<IoBreakdown>,
+    ) -> Result<(Vec<Col>, Vec<Tuple>)> {
+        let Plan::Scan { rel, .. } = plan else {
+            unreachable!()
+        };
+        let t = self.catalog.get(table)?;
+        // The scan reads the whole table.
+        let bytes: usize = t.rows().iter().map(Tuple::width).sum();
+        let pages = self.model.page.pages_for_bytes(bytes as f64);
+        breakdown.push(IoBreakdown {
+            op: format!("scan {table}"),
+            pages: ops::scan_io(pages),
+        });
+        // Bind filters against the base layout.
+        let base_cols: Vec<Col> = (0..t.schema().len()).map(|c| Col::base(*rel, c)).collect();
+        let layout = layout_map(&base_cols);
+        let bound: Vec<_> = filters
+            .iter()
+            .map(|p| p.bind(&|c| layout.get(&c).copied()))
+            .collect::<Result<_>>()?;
+        let positions: Vec<usize> = project
+            .iter()
+            .map(|c| {
+                layout.get(c).copied().ok_or_else(|| {
+                    AggViewError::Plan(format!("scan projection of foreign column {c}"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        let mut rows = Vec::new();
+        'row: for row in t.rows() {
+            for b in &bound {
+                if !b.eval(row)? {
+                    continue 'row;
+                }
+            }
+            rows.push(row.project(&positions));
+        }
+        Ok((project.to_vec(), rows))
+    }
+
+    fn exec_join(
+        &self,
+        algo: JoinAlgo,
+        left: &Plan,
+        right: &Plan,
+        preds: &[Predicate],
+        project: &[Col],
+        breakdown: &mut Vec<IoBreakdown>,
+    ) -> Result<(Vec<Col>, Vec<Tuple>)> {
+        let (lcols, lrows) = self.exec(left, breakdown)?;
+        let (rcols, rrows) = self.exec(right, breakdown)?;
+        let sides = JoinSides {
+            left_rows: lrows.len() as f64,
+            left_pages: self.pages_of(&lrows),
+            right_rows: rrows.len() as f64,
+            right_pages: self.pages_of(&rrows),
+        };
+        let mem = self.model.io.mem_pages;
+        let (algo, charge) = match algo {
+            JoinAlgo::Auto => ops::best_join(&sides, preds, mem),
+            a => {
+                if !ops::join_algo_applicable(a, preds) {
+                    return Err(AggViewError::Exec(format!(
+                        "join algorithm {a} requires an equality predicate"
+                    )));
+                }
+                (a, ops::join_io(a, &sides, preds, mem))
+            }
+        };
+        breakdown.push(IoBreakdown {
+            op: format!("join[{algo}]"),
+            pages: charge,
+        });
+
+        // Combined layout: left columns then right columns.
+        let mut all_cols = lcols.clone();
+        all_cols.extend(rcols.iter().copied());
+        let layout = layout_map(&all_cols);
+        let llayout = layout_map(&lcols);
+        let rlayout = layout_map(&rcols);
+
+        // Split predicates: hashable equalities vs residual.
+        let mut eq_keys: Vec<(usize, usize)> = Vec::new(); // (left pos, right pos)
+        let mut residual: Vec<Predicate> = Vec::new();
+        for p in preds {
+            match p.as_col_eq_col() {
+                Some((a, b)) => {
+                    match (llayout.get(&a), rlayout.get(&b)) {
+                        (Some(&la), Some(&rb)) => {
+                            eq_keys.push((la, rb));
+                            continue;
+                        }
+                        _ => {
+                            if let (Some(&lb), Some(&ra)) = (llayout.get(&b), rlayout.get(&a)) {
+                                eq_keys.push((lb, ra));
+                                continue;
+                            }
+                        }
+                    }
+                    residual.push(p.clone());
+                }
+                None => residual.push(p.clone()),
+            }
+        }
+        let bound_residual: Vec<_> = residual
+            .iter()
+            .map(|p| p.bind(&|c| layout.get(&c).copied()))
+            .collect::<Result<_>>()?;
+        let positions: Vec<usize> = project
+            .iter()
+            .map(|c| {
+                layout.get(c).copied().ok_or_else(|| {
+                    AggViewError::Plan(format!("join projects unavailable column {c}"))
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        let mut out = Vec::new();
+        if eq_keys.is_empty() {
+            // Nested loops.
+            for l in &lrows {
+                for r in &rrows {
+                    let combined = l.concat(r);
+                    if eval_all(&bound_residual, &combined)? {
+                        out.push(combined.project(&positions));
+                    }
+                }
+            }
+        } else {
+            // Hash join: build on the smaller input.
+            let build_left = lrows.len() <= rrows.len();
+            let (build, probe) = if build_left {
+                (&lrows, &rrows)
+            } else {
+                (&rrows, &lrows)
+            };
+            let build_key = |t: &Tuple| -> Vec<Value> {
+                eq_keys
+                    .iter()
+                    .map(|&(lk, rk)| t.get(if build_left { lk } else { rk }).clone())
+                    .collect()
+            };
+            let probe_key = |t: &Tuple| -> Vec<Value> {
+                eq_keys
+                    .iter()
+                    .map(|&(lk, rk)| t.get(if build_left { rk } else { lk }).clone())
+                    .collect()
+            };
+            let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
+            for (i, t) in build.iter().enumerate() {
+                map.entry(build_key(t)).or_default().push(i);
+            }
+            for p in probe.iter() {
+                if let Some(matches) = map.get(&probe_key(p)) {
+                    for &bi in matches {
+                        let combined = if build_left {
+                            build[bi].concat(p)
+                        } else {
+                            p.concat(&build[bi])
+                        };
+                        if eval_all(&bound_residual, &combined)? {
+                            out.push(combined.project(&positions));
+                        }
+                    }
+                }
+            }
+        }
+        Ok((project.to_vec(), out))
+    }
+
+    fn exec_group_by(
+        &self,
+        algo: AggAlgo,
+        input: &Plan,
+        spec: &GroupBySpec,
+        project: &[Col],
+        breakdown: &mut Vec<IoBreakdown>,
+    ) -> Result<(Vec<Col>, Vec<Tuple>)> {
+        let (icols, irows) = self.exec(input, breakdown)?;
+        let layout = layout_map(&icols);
+
+        // Group-key positions.
+        let key_pos: Vec<usize> = spec
+            .group_cols
+            .iter()
+            .map(|c| {
+                layout.get(c).copied().ok_or_else(|| {
+                    AggViewError::Plan(format!("grouping column {c} missing from input"))
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        // Per-aggregate input mode: raw expression or partial components.
+        enum Mode {
+            Raw(aggview_common::expr::BoundExpr),
+            RawCountStar,
+            Partial(Vec<usize>),
+        }
+        let mut modes = Vec::with_capacity(spec.aggs.len());
+        for (i, a) in spec.aggs.iter().enumerate() {
+            let aref = spec.agg_ref(i);
+            let first = Col::part(aref, 0);
+            if layout.contains_key(&first) {
+                let comps: Vec<usize> = (0..a.func.partial_arity())
+                    .map(|k| {
+                        layout.get(&Col::part(aref, k)).copied().ok_or_else(|| {
+                            AggViewError::Plan(format!("partial component {k} of {aref} missing"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                modes.push(Mode::Partial(comps));
+            } else {
+                match &a.arg {
+                    Some(e) => {
+                        modes.push(Mode::Raw(e.bind(&|c| layout.get(&c).copied())?));
+                    }
+                    None => modes.push(Mode::RawCountStar),
+                }
+            }
+        }
+
+        // Accumulate.
+        let mut groups: HashMap<Vec<Value>, (Tuple, Vec<PartialAggState>)> = HashMap::new();
+        for row in &irows {
+            let key: Vec<Value> = key_pos.iter().map(|&i| row.get(i).clone()).collect();
+            let entry = groups.entry(key).or_insert_with(|| {
+                (
+                    row.project(&key_pos),
+                    spec.aggs
+                        .iter()
+                        .map(|a| PartialAggState::empty(a.func))
+                        .collect(),
+                )
+            });
+            for (state, mode) in entry.1.iter_mut().zip(&modes) {
+                match mode {
+                    Mode::Raw(e) => {
+                        let v = e.eval(row)?;
+                        state.update(Some(&v))?;
+                    }
+                    Mode::RawCountStar => state.update(None)?,
+                    Mode::Partial(comps) => {
+                        let vals: Vec<Value> = comps.iter().map(|&i| row.get(i).clone()).collect();
+                        state.merge_components(&vals)?;
+                    }
+                }
+            }
+        }
+
+        // Finalize, apply HAVING, project.
+        let mut out_cols: Vec<Col> = spec.group_cols.clone();
+        out_cols.extend(spec.agg_cols());
+        let out_layout = layout_map(&out_cols);
+        let bound_having: Vec<_> = spec
+            .having
+            .iter()
+            .map(|p| p.bind(&|c| out_layout.get(&c).copied()))
+            .collect::<Result<_>>()?;
+        let positions: Vec<usize> = project
+            .iter()
+            .map(|c| {
+                out_layout.get(c).copied().ok_or_else(|| {
+                    AggViewError::Plan(format!("group-by projects unavailable column {c}"))
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        let mut out = Vec::new();
+        let mut out_bytes = 0usize;
+        for (_, (key_tuple, states)) in groups {
+            let mut values = key_tuple.into_values();
+            for s in &states {
+                values.push(s.finalize()?);
+            }
+            let full = Tuple::new(values);
+            if eval_all(&bound_having, &full)? {
+                let t = full.project(&positions);
+                out_bytes += t.width();
+                out.push(t);
+            }
+        }
+
+        // Charge: group-by over the materialized input.
+        let in_pages = self.pages_of(&irows);
+        let out_pages = self.model.page.pages_for_bytes(out_bytes as f64);
+        let io = self.model.io;
+        let (algo, charge) = match algo {
+            AggAlgo::Auto => ops::best_agg(in_pages, out_pages, &io),
+            AggAlgo::Hash => (AggAlgo::Hash, ops::hash_agg_io(in_pages, out_pages, &io)),
+            AggAlgo::Sort => (AggAlgo::Sort, ops::sort_agg_io(in_pages, io.mem_pages)),
+        };
+        breakdown.push(IoBreakdown {
+            op: format!("groupby[{algo}] {}", spec.owner),
+            pages: charge,
+        });
+        Ok((project.to_vec(), out))
+    }
+
+    fn exec_partial_group_by(
+        &self,
+        algo: AggAlgo,
+        input: &Plan,
+        spec: &PartialGroupSpec,
+        project: &[Col],
+        breakdown: &mut Vec<IoBreakdown>,
+    ) -> Result<(Vec<Col>, Vec<Tuple>)> {
+        let (icols, irows) = self.exec(input, breakdown)?;
+        let layout = layout_map(&icols);
+        let key_pos: Vec<usize> = spec
+            .group_cols
+            .iter()
+            .map(|c| {
+                layout.get(c).copied().ok_or_else(|| {
+                    AggViewError::Plan(format!("partial grouping column {c} missing"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        let bound_args: Vec<Option<aggview_common::expr::BoundExpr>> = spec
+            .aggs
+            .iter()
+            .map(|(_, a)| {
+                a.arg
+                    .as_ref()
+                    .map(|e| e.bind(&|c| layout.get(&c).copied()))
+                    .transpose()
+            })
+            .collect::<Result<_>>()?;
+
+        let mut groups: HashMap<Vec<Value>, (Tuple, Vec<PartialAggState>)> = HashMap::new();
+        for row in &irows {
+            let key: Vec<Value> = key_pos.iter().map(|&i| row.get(i).clone()).collect();
+            let entry = groups.entry(key).or_insert_with(|| {
+                (
+                    row.project(&key_pos),
+                    spec.aggs
+                        .iter()
+                        .map(|(_, a)| PartialAggState::empty(a.func))
+                        .collect(),
+                )
+            });
+            for (state, arg) in entry.1.iter_mut().zip(&bound_args) {
+                match arg {
+                    Some(e) => {
+                        let v = e.eval(row)?;
+                        state.update(Some(&v))?;
+                    }
+                    None => state.update(None)?,
+                }
+            }
+        }
+
+        // Output layout: group cols then partial components per agg.
+        let mut out_cols: Vec<Col> = spec.group_cols.clone();
+        out_cols.extend(spec.all_part_cols());
+        let out_layout = layout_map(&out_cols);
+        let positions: Vec<usize> = project
+            .iter()
+            .map(|c| {
+                out_layout.get(c).copied().ok_or_else(|| {
+                    AggViewError::Plan(format!("partial group-by projects unavailable column {c}"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        let mut out = Vec::new();
+        let mut out_bytes = 0usize;
+        for (_, (key_tuple, states)) in groups {
+            let mut values = key_tuple.into_values();
+            for s in &states {
+                // Non-empty groups always have full component vectors.
+                values.extend(s.components().iter().cloned());
+            }
+            let full = Tuple::new(values);
+            let t = full.project(&positions);
+            out_bytes += t.width();
+            out.push(t);
+        }
+
+        let in_pages = self.pages_of(&irows);
+        let out_pages = self.model.page.pages_for_bytes(out_bytes as f64);
+        let io = self.model.io;
+        let (algo, charge) = match algo {
+            AggAlgo::Auto => ops::best_agg(in_pages, out_pages, &io),
+            AggAlgo::Hash => (AggAlgo::Hash, ops::hash_agg_io(in_pages, out_pages, &io)),
+            AggAlgo::Sort => (AggAlgo::Sort, ops::sort_agg_io(in_pages, io.mem_pages)),
+        };
+        breakdown.push(IoBreakdown {
+            op: format!("partial-groupby[{algo}]"),
+            pages: charge,
+        });
+        Ok((project.to_vec(), out))
+    }
+
+    fn pages_of(&self, rows: &[Tuple]) -> f64 {
+        let bytes: usize = rows.iter().map(Tuple::width).sum();
+        self.model.page.pages_for_bytes(bytes as f64)
+    }
+}
+
+fn layout_map(cols: &[Col]) -> HashMap<Col, usize> {
+    cols.iter().enumerate().map(|(i, c)| (*c, i)).collect()
+}
+
+fn eval_all(preds: &[aggview_common::predicate::BoundPredicate], t: &Tuple) -> Result<bool> {
+    for p in preds {
+        if !p.eval(t)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_common::{AggFunc, AggSpec, CmpOp, Expr, RelId, ViewId};
+    use aggview_core::plan::all_cols;
+    use aggview_core::query::examples::{dept, emp};
+    use aggview_storage::datagen::{gen_empdept, EmpDeptConfig};
+
+    fn setup() -> (Catalog, QueryEnv) {
+        let cat = gen_empdept(&EmpDeptConfig {
+            n_depts: 5,
+            emps_per_dept: 8,
+            young_fraction: 0.25,
+            low_budget_fraction: 0.5,
+            seed: 11,
+        })
+        .unwrap();
+        (cat, QueryEnv::new(vec!["emp".into(), "dept".into()]))
+    }
+
+    fn engine<'a>(cat: &'a Catalog, env: &'a QueryEnv) -> Engine<'a> {
+        Engine::new(cat, env, CostModel::default())
+    }
+
+    #[test]
+    fn scan_with_filter() {
+        let (cat, env) = setup();
+        let e = engine(&cat, &env);
+        let plan = Plan::scan(
+            RelId(0),
+            "emp",
+            vec![Predicate::cmp_const(
+                Col::base(RelId(0), emp::AGE),
+                CmpOp::Lt,
+                Value::Int(22),
+            )],
+            all_cols(RelId(0), 5),
+        );
+        let rs = e.execute(&plan).unwrap();
+        let total = cat.get("emp").unwrap().len();
+        assert!(rs.rows.len() < total && !rs.rows.is_empty());
+        assert!(rs.io_pages > 0.0);
+        // Every surviving row satisfies the filter.
+        let age = rs.col_index(Col::base(RelId(0), emp::AGE)).unwrap();
+        assert!(rs.rows.iter().all(|r| r.get(age).as_i64().unwrap() < 22));
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_semantics() {
+        let (cat, env) = setup();
+        let e = engine(&cat, &env);
+        let jp = Predicate::eq_cols(
+            Col::base(RelId(0), emp::DNO),
+            Col::base(RelId(1), dept::DNO),
+        );
+        let mk = |algo: JoinAlgo| {
+            let mut p = Plan::join_all(
+                Plan::scan(RelId(0), "emp", vec![], all_cols(RelId(0), 5)),
+                Plan::scan(RelId(1), "dept", vec![], all_cols(RelId(1), 4)),
+                vec![jp.clone()],
+            );
+            if let Plan::Join { algo: a, .. } = &mut p {
+                *a = algo;
+            }
+            p
+        };
+        let h = e.execute(&mk(JoinAlgo::Hash)).unwrap();
+        let n = e.execute(&mk(JoinAlgo::NestedLoop)).unwrap();
+        let mut hr = h.rows.clone();
+        let mut nr = n.rows.clone();
+        hr.sort();
+        nr.sort();
+        assert_eq!(hr, nr);
+        // FK join: one output row per employee.
+        assert_eq!(hr.len(), cat.get("emp").unwrap().len());
+    }
+
+    #[test]
+    fn group_by_avg_per_department() {
+        let (cat, env) = setup();
+        let e = engine(&cat, &env);
+        let plan = Plan::group_by_all(
+            Plan::scan(RelId(0), "emp", vec![], all_cols(RelId(0), 5)),
+            GroupBySpec {
+                owner: ViewId::View(0),
+                group_cols: vec![Col::base(RelId(0), emp::DNO)],
+                aggs: vec![AggSpec::new(
+                    AggFunc::Avg,
+                    Expr::col(Col::base(RelId(0), emp::SAL)),
+                )],
+                having: vec![],
+            },
+        );
+        let rs = e.execute(&plan).unwrap();
+        assert_eq!(rs.rows.len(), 5);
+        // Cross-check one group against a direct computation.
+        let emp_t = cat.get("emp").unwrap();
+        let dno0: Vec<f64> = emp_t
+            .rows()
+            .iter()
+            .filter(|r| r.get(emp::DNO).as_i64() == Some(0))
+            .map(|r| r.get(emp::SAL).as_f64().unwrap())
+            .collect();
+        let expect = dno0.iter().sum::<f64>() / dno0.len() as f64;
+        let dno_idx = rs.col_index(Col::base(RelId(0), emp::DNO)).unwrap();
+        let avg_idx = rs.col_index(Col::agg(ViewId::View(0), 0)).unwrap();
+        let got = rs
+            .rows
+            .iter()
+            .find(|r| r.get(dno_idx).as_i64() == Some(0))
+            .unwrap()
+            .get(avg_idx)
+            .as_f64()
+            .unwrap();
+        assert!((got - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let (cat, env) = setup();
+        let e = engine(&cat, &env);
+        let mk = |having: Vec<Predicate>| {
+            Plan::group_by_all(
+                Plan::scan(RelId(0), "emp", vec![], all_cols(RelId(0), 5)),
+                GroupBySpec {
+                    owner: ViewId::Top,
+                    group_cols: vec![Col::base(RelId(0), emp::DNO)],
+                    aggs: vec![AggSpec::count_star()],
+                    having,
+                },
+            )
+        };
+        let all = e.execute(&mk(vec![])).unwrap();
+        let some = e
+            .execute(&mk(vec![Predicate::new(
+                Expr::col(Col::agg(ViewId::Top, 0)),
+                CmpOp::Gt,
+                Expr::val(Value::Int(100)),
+            )]))
+            .unwrap();
+        assert_eq!(all.rows.len(), 5);
+        assert!(some.rows.is_empty(), "no dept has >100 emps");
+    }
+
+    #[test]
+    fn partial_then_coalesce_equals_direct() {
+        // SUM(sal) by dno computed (a) directly, (b) partial on emp then
+        // coalesced after joining dept.
+        let (cat, env) = setup();
+        let e = engine(&cat, &env);
+        let agg = AggSpec::new(AggFunc::Sum, Expr::col(Col::base(RelId(0), emp::SAL)));
+        let jp = Predicate::eq_cols(
+            Col::base(RelId(0), emp::DNO),
+            Col::base(RelId(1), dept::DNO),
+        );
+
+        let direct = Plan::group_by_all(
+            Plan::join_all(
+                Plan::scan(RelId(0), "emp", vec![], all_cols(RelId(0), 5)),
+                Plan::scan(RelId(1), "dept", vec![], all_cols(RelId(1), 4)),
+                vec![jp.clone()],
+            ),
+            GroupBySpec {
+                owner: ViewId::Top,
+                group_cols: vec![Col::base(RelId(0), emp::DNO)],
+                aggs: vec![agg.clone()],
+                having: vec![],
+            },
+        );
+
+        let aref = aggview_common::AggRef::new(ViewId::Top, 0);
+        let partial = Plan::partial_group_by_all(
+            Plan::scan(RelId(0), "emp", vec![], all_cols(RelId(0), 5)),
+            PartialGroupSpec {
+                group_cols: vec![Col::base(RelId(0), emp::DNO)],
+                aggs: vec![(aref, agg.clone())],
+            },
+        );
+        let coalesced = Plan::group_by_all(
+            Plan::join_all(
+                partial,
+                Plan::scan(RelId(1), "dept", vec![], all_cols(RelId(1), 4)),
+                vec![jp],
+            ),
+            GroupBySpec {
+                owner: ViewId::Top,
+                group_cols: vec![Col::base(RelId(0), emp::DNO)],
+                aggs: vec![agg],
+                having: vec![],
+            },
+        );
+
+        let a = e.execute(&direct).unwrap();
+        let b = e.execute(&coalesced).unwrap();
+        crate::verify::assert_equivalent(&a, &b).unwrap();
+    }
+
+    #[test]
+    fn explicit_hash_join_without_equality_errors() {
+        let (cat, env) = setup();
+        let e = engine(&cat, &env);
+        let mut p = Plan::join_all(
+            Plan::scan(RelId(0), "emp", vec![], all_cols(RelId(0), 5)),
+            Plan::scan(RelId(1), "dept", vec![], all_cols(RelId(1), 4)),
+            vec![],
+        );
+        if let Plan::Join { algo, .. } = &mut p {
+            *algo = JoinAlgo::Hash;
+        }
+        assert!(e.execute(&p).is_err());
+    }
+
+    #[test]
+    fn io_breakdown_covers_all_operators() {
+        let (cat, env) = setup();
+        let e = engine(&cat, &env);
+        let plan = Plan::group_by_all(
+            Plan::join_all(
+                Plan::scan(RelId(0), "emp", vec![], all_cols(RelId(0), 5)),
+                Plan::scan(RelId(1), "dept", vec![], all_cols(RelId(1), 4)),
+                vec![Predicate::eq_cols(
+                    Col::base(RelId(0), emp::DNO),
+                    Col::base(RelId(1), dept::DNO),
+                )],
+            ),
+            GroupBySpec {
+                owner: ViewId::Top,
+                group_cols: vec![Col::base(RelId(0), emp::DNO)],
+                aggs: vec![AggSpec::count_star()],
+                having: vec![],
+            },
+        );
+        let rs = e.execute(&plan).unwrap();
+        assert_eq!(rs.breakdown.len(), 4); // 2 scans, 1 join, 1 group-by
+        assert!(rs.breakdown[0].op.starts_with("scan"));
+        assert!((rs.io_pages - rs.breakdown.iter().map(|b| b.pages).sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_join_residual_predicates() {
+        // emp self-join on dno with sal comparison: residual preds.
+        let (cat, _env) = setup();
+        let env2 = QueryEnv::new(vec!["emp".into(), "emp".into()]);
+        let e = Engine::new(&cat, &env2, CostModel::default());
+        let plan = Plan::join_all(
+            Plan::scan(RelId(0), "emp", vec![], all_cols(RelId(0), 5)),
+            Plan::scan(RelId(1), "emp", vec![], all_cols(RelId(1), 5)),
+            vec![
+                Predicate::eq_cols(Col::base(RelId(0), emp::DNO), Col::base(RelId(1), emp::DNO)),
+                Predicate::new(
+                    Expr::col(Col::base(RelId(0), emp::SAL)),
+                    CmpOp::Gt,
+                    Expr::col(Col::base(RelId(1), emp::SAL)),
+                ),
+            ],
+        );
+        let rs = e.execute(&plan).unwrap();
+        let s0 = rs.col_index(Col::base(RelId(0), emp::SAL)).unwrap();
+        let s1 = rs.col_index(Col::base(RelId(1), emp::SAL)).unwrap();
+        assert!(!rs.rows.is_empty());
+        assert!(rs
+            .rows
+            .iter()
+            .all(|r| r.get(s0).as_f64().unwrap() > r.get(s1).as_f64().unwrap()));
+    }
+}

@@ -1,0 +1,28 @@
+//! # aggview-executor — plan execution with page-IO accounting
+//!
+//! Executes [`aggview_core::Plan`] operator trees against an
+//! [`aggview_storage::Catalog`] and *measures* the IO each operator
+//! would incur, using the **same charging formulas** as the optimizer's
+//! cost model ([`aggview_core::cost::ops`]) evaluated over actual —
+//! rather than estimated — cardinalities and widths. Estimated vs.
+//! measured cost therefore differ only by estimation error, which
+//! experiment E9 quantifies.
+//!
+//! * [`engine`] — the recursive evaluator: scans with pushed-down
+//!   filters, hash/nested-loop joins, hash aggregation with HAVING, and
+//!   partial aggregation with coalescing (the executor detects partial
+//!   aggregate states in a group-by's input by their
+//!   [`aggview_common::PartRef`] columns and merges instead of
+//!   re-aggregating);
+//! * [`correlated`] — naive tuple-at-a-time evaluation of correlated
+//!   aggregate subqueries (Kim's type-JA shape), the baseline the
+//!   flattening pathway (experiment E7) is measured against;
+//! * [`verify`] — multiset result comparison used by every
+//!   plan-equivalence test.
+
+pub mod correlated;
+pub mod engine;
+pub mod verify;
+
+pub use engine::{Engine, IoBreakdown, ResultSet};
+pub use verify::{assert_equivalent, canonical_rows};

@@ -1,0 +1,194 @@
+//! Executor edge cases: empty inputs, empty groups, degenerate keys,
+//! zero-width projections, and concurrent catalog access.
+
+use aggview_common::{AggFunc, AggSpec, CmpOp, Col, DataType, Expr, Predicate, RelId, Schema, Value, ViewId};
+use aggview_core::cost::CostModel;
+use aggview_core::plan::{all_cols, GroupBySpec, Plan};
+use aggview_core::query::QueryEnv;
+use aggview_executor::Engine;
+use aggview_storage::{Catalog, Table};
+use std::sync::Arc;
+
+fn empty_and_tiny() -> (Catalog, QueryEnv) {
+    let cat = Catalog::new();
+    cat.add(
+        Table::builder(
+            "empty",
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Float)]),
+        )
+        .primary_key(&["a"])
+        .unwrap()
+        .build()
+        .unwrap(),
+    )
+    .unwrap();
+    let mut tiny = Table::builder(
+        "tiny",
+        Schema::of(&[("a", DataType::Int), ("b", DataType::Float)]),
+    )
+    .primary_key(&["a"])
+    .unwrap();
+    tiny.push(aggview_common::tuple![1i64, 10.0]).unwrap();
+    tiny.push(aggview_common::tuple![2i64, 20.0]).unwrap();
+    cat.add(tiny.build().unwrap()).unwrap();
+    (cat, QueryEnv::new(vec!["empty".into(), "tiny".into()]))
+}
+
+#[test]
+fn scan_of_empty_table_charges_nothing_and_yields_nothing() {
+    let (cat, env) = empty_and_tiny();
+    let engine = Engine::new(&cat, &env, CostModel::default());
+    let rs = engine
+        .execute(&Plan::scan(RelId(0), "empty", vec![], all_cols(RelId(0), 2)))
+        .unwrap();
+    assert!(rs.rows.is_empty());
+    assert_eq!(rs.io_pages, 0.0);
+}
+
+#[test]
+fn group_by_over_empty_input_yields_no_groups() {
+    let (cat, env) = empty_and_tiny();
+    let engine = Engine::new(&cat, &env, CostModel::default());
+    let plan = Plan::group_by_all(
+        Plan::scan(RelId(0), "empty", vec![], all_cols(RelId(0), 2)),
+        GroupBySpec {
+            owner: ViewId::Top,
+            group_cols: vec![Col::base(RelId(0), 0)],
+            aggs: vec![AggSpec::new(AggFunc::Sum, Expr::col(Col::base(RelId(0), 1)))],
+            having: vec![],
+        },
+    );
+    let rs = engine.execute(&plan).unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn scalar_aggregate_over_nonempty_input_yields_one_row() {
+    // Empty grouping-column list: one global group.
+    let (cat, env) = empty_and_tiny();
+    let engine = Engine::new(&cat, &env, CostModel::default());
+    let plan = Plan::group_by_all(
+        Plan::scan(RelId(1), "tiny", vec![], all_cols(RelId(1), 2)),
+        GroupBySpec {
+            owner: ViewId::Top,
+            group_cols: vec![],
+            aggs: vec![AggSpec::new(AggFunc::Avg, Expr::col(Col::base(RelId(1), 1)))],
+            having: vec![],
+        },
+    );
+    let rs = engine.execute(&plan).unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0].get(0), &Value::Float(15.0));
+}
+
+#[test]
+fn join_with_empty_side_is_empty() {
+    let (cat, env) = empty_and_tiny();
+    let engine = Engine::new(&cat, &env, CostModel::default());
+    let plan = Plan::join_all(
+        Plan::scan(RelId(0), "empty", vec![], all_cols(RelId(0), 2)),
+        Plan::scan(RelId(1), "tiny", vec![], all_cols(RelId(1), 2)),
+        vec![Predicate::eq_cols(Col::base(RelId(0), 0), Col::base(RelId(1), 0))],
+    );
+    let rs = engine.execute(&plan).unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn filter_eliminating_all_rows_then_aggregate() {
+    let (cat, env) = empty_and_tiny();
+    let engine = Engine::new(&cat, &env, CostModel::default());
+    let plan = Plan::group_by_all(
+        Plan::scan(
+            RelId(1),
+            "tiny",
+            vec![Predicate::cmp_const(
+                Col::base(RelId(1), 0),
+                CmpOp::Gt,
+                Value::Int(100),
+            )],
+            all_cols(RelId(1), 2),
+        ),
+        GroupBySpec {
+            owner: ViewId::Top,
+            group_cols: vec![Col::base(RelId(1), 0)],
+            aggs: vec![AggSpec::count_star()],
+            having: vec![],
+        },
+    );
+    let rs = engine.execute(&plan).unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn catalog_is_safely_shared_across_threads() {
+    let (cat, _) = empty_and_tiny();
+    let cat = Arc::new(cat);
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let cat = Arc::clone(&cat);
+            std::thread::spawn(move || {
+                let env = QueryEnv::new(vec!["empty".into(), "tiny".into()]);
+                let engine = Engine::new(&cat, &env, CostModel::default());
+                let plan = Plan::scan(RelId(1), "tiny", vec![], all_cols(RelId(1), 2));
+                let rs = engine.execute(&plan).unwrap();
+                assert_eq!(rs.rows.len(), 2, "thread {i}");
+                rs.rows.len()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 2);
+    }
+}
+
+#[test]
+fn optimizer_handles_empty_tables_gracefully() {
+    use aggview_core::optimizer::multi_view::optimize;
+    use aggview_core::query::{CanonicalQuery, TopGroup};
+    use aggview_core::OptimizerConfig;
+    let (cat, _) = empty_and_tiny();
+    let mut env = QueryEnv::default();
+    let e = env.add_rel("empty");
+    let t = env.add_rel("tiny");
+    let q = CanonicalQuery {
+        env,
+        views: vec![],
+        base_rels: vec![e, t],
+        preds: vec![Predicate::eq_cols(Col::base(e, 0), Col::base(t, 0))],
+        group: Some(TopGroup {
+            group_cols: vec![Col::base(t, 0)],
+            aggs: vec![AggSpec::count_star()],
+            having: vec![],
+        }),
+        projection: vec![Col::base(t, 0), Col::agg(ViewId::Top, 0)],
+    };
+    let opt = optimize(&q, &cat, CostModel::default(), &OptimizerConfig::default()).unwrap();
+    let engine = Engine::new(&cat, &q.env, CostModel::default());
+    let rs = engine.execute(&opt.plan).unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn duplicate_join_values_multiply_correctly() {
+    // tiny ⋈ tiny on a constant-equal column produces a full cross of
+    // matching keys.
+    let cat = Catalog::new();
+    let mut b = Table::builder(
+        "dups",
+        Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]),
+    );
+    for i in 0..4 {
+        b.push(aggview_common::tuple![1i64, i as i64]).unwrap();
+    }
+    cat.add(b.build().unwrap()).unwrap();
+    let env = QueryEnv::new(vec!["dups".into(), "dups".into()]);
+    let engine = Engine::new(&cat, &env, CostModel::default());
+    let plan = Plan::join_all(
+        Plan::scan(RelId(0), "dups", vec![], all_cols(RelId(0), 2)),
+        Plan::scan(RelId(1), "dups", vec![], all_cols(RelId(1), 2)),
+        vec![Predicate::eq_cols(Col::base(RelId(0), 0), Col::base(RelId(1), 0))],
+    );
+    let rs = engine.execute(&plan).unwrap();
+    assert_eq!(rs.rows.len(), 16, "4×4 matches on the shared key");
+}

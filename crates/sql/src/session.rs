@@ -1,0 +1,386 @@
+//! A REPL-style session: parse → bind → optimize → execute.
+
+use crate::ast::Stmt;
+use crate::binder::{bind, BoundQuery, ViewRegistry};
+use crate::parser::parse_script;
+use aggview_common::{AggViewError, Result, Tuple};
+use aggview_core::cost::CostModel;
+use aggview_core::optimizer::multi_view::{optimize, Optimized};
+use aggview_core::OptimizerConfig;
+use aggview_executor::Engine;
+use aggview_storage::Catalog;
+
+/// The result of running a SELECT through the session.
+#[derive(Debug, Clone)]
+pub struct SqlResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Tuple>,
+    /// Measured IO of the executed plan, in pages.
+    pub io_pages: f64,
+    /// The optimizer's estimated cost of the chosen plan.
+    pub estimated_cost: f64,
+    /// EXPLAIN-style rendering of the executed plan.
+    pub plan: String,
+}
+
+impl SqlResult {
+    /// Render rows as simple aligned text (for examples and the
+    /// quickstart).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.values().iter().map(ToString::to_string).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A session holding a catalog, registered views, and optimizer
+/// configuration.
+pub struct Session {
+    catalog: Catalog,
+    registry: ViewRegistry,
+    /// Cost-model parameters (page size, memory budget).
+    pub model: CostModel,
+    /// Optimizer configuration (pull-up level, push-down, gating).
+    pub config: OptimizerConfig,
+}
+
+impl Session {
+    /// Create a session over a catalog with default model and config.
+    pub fn new(catalog: Catalog) -> Session {
+        Session {
+            catalog,
+            registry: ViewRegistry::new(),
+            model: CostModel::default(),
+            config: OptimizerConfig::default(),
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Number of registered views.
+    pub fn view_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Execute a script: `CREATE VIEW`s register views; the result of
+    /// the **last SELECT** is returned.
+    pub fn execute(&mut self, sql: &str) -> Result<SqlResult> {
+        let stmts = parse_script(sql)?;
+        let mut last = None;
+        for stmt in stmts {
+            match stmt {
+                Stmt::CreateView {
+                    name,
+                    columns,
+                    query,
+                } => {
+                    self.registry.register(&name, columns, query);
+                }
+                Stmt::Select(s) => {
+                    let bound = bind(&s, &self.catalog, &self.registry)?;
+                    let mut result = self.run_bound(&bound)?;
+                    apply_order_and_limit(&mut result, &s.order_by, s.limit)?;
+                    last = Some(result);
+                }
+            }
+        }
+        last.ok_or_else(|| AggViewError::Bind("script contains no SELECT".into()))
+    }
+
+    /// Bind and optimize without executing; returns the bound query and
+    /// the optimizer result (for EXPLAIN-style inspection).
+    pub fn plan(&mut self, sql: &str) -> Result<(BoundQuery, Optimized)> {
+        let stmts = parse_script(sql)?;
+        let mut select = None;
+        for stmt in stmts {
+            match stmt {
+                Stmt::CreateView {
+                    name,
+                    columns,
+                    query,
+                } => self.registry.register(&name, columns, query),
+                Stmt::Select(s) => select = Some(s),
+            }
+        }
+        let s = select.ok_or_else(|| AggViewError::Bind("script contains no SELECT".into()))?;
+        let bound = bind(&s, &self.catalog, &self.registry)?;
+        let opt = optimize(&bound.query, &self.catalog, self.model, &self.config)?;
+        Ok((bound, opt))
+    }
+
+    fn run_bound(&self, bound: &BoundQuery) -> Result<SqlResult> {
+        let opt = optimize(&bound.query, &self.catalog, self.model, &self.config)?;
+        let engine = Engine::new(&self.catalog, &bound.query.env, self.model);
+        let rs = engine.execute(&opt.plan)?;
+        // Reorder executed rows to the query's declared projection.
+        let positions: Vec<usize> = bound
+            .query
+            .projection
+            .iter()
+            .map(|c| {
+                rs.col_index(*c)
+                    .ok_or_else(|| AggViewError::Exec(format!("plan lost projected column {c}")))
+            })
+            .collect::<Result<_>>()?;
+        let rows: Vec<Tuple> = rs.rows.iter().map(|r| r.project(&positions)).collect();
+        Ok(SqlResult {
+            columns: bound.column_names.clone(),
+            rows,
+            io_pages: rs.io_pages,
+            estimated_cost: opt.props.cost,
+            plan: opt.plan.explain(),
+        })
+    }
+}
+
+/// Apply a client-side ORDER BY / LIMIT to a finished result.
+fn apply_order_and_limit(
+    result: &mut SqlResult,
+    order_by: &[(String, bool)],
+    limit: Option<usize>,
+) -> Result<()> {
+    if !order_by.is_empty() {
+        let keys: Vec<(usize, bool)> = order_by
+            .iter()
+            .map(|(name, desc)| {
+                result
+                    .columns
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(name))
+                    .map(|i| (i, *desc))
+                    .ok_or_else(|| {
+                        AggViewError::Bind(format!(
+                            "ORDER BY column `{name}` is not in the select list"
+                        ))
+                    })
+            })
+            .collect::<Result<_>>()?;
+        result.rows.sort_by(|a, b| {
+            for &(i, desc) in &keys {
+                let ord = a.get(i).cmp(b.get(i));
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(n) = limit {
+        result.rows.truncate(n);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_storage::datagen::{gen_empdept, EmpDeptConfig};
+
+    fn session() -> Session {
+        Session::new(
+            gen_empdept(&EmpDeptConfig {
+                n_depts: 6,
+                emps_per_dept: 10,
+                young_fraction: 0.3,
+                seed: 21,
+                ..Default::default()
+            })
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_example1_view_vs_single_block() {
+        let mut s = session();
+        let via_view = s
+            .execute(
+                "create view A1(dno, Asal) as \
+                   select e2.dno, avg(e2.sal) from emp e2 group by e2.dno; \
+                 select e1.sal from emp e1, A1 b \
+                  where e1.dno = b.dno and e1.age < 22 and e1.sal > b.Asal;",
+            )
+            .unwrap();
+        let via_having = s
+            .execute(
+                "select e1.sal from emp e1, emp e2 \
+                  where e1.dno = e2.dno and e1.age < 22 \
+                  group by e2.dno, e1.eno, e1.sal having e1.sal > avg(e2.sal)",
+            )
+            .unwrap();
+        let mut a: Vec<String> = via_view.rows.iter().map(|r| r.to_string()).collect();
+        let mut b: Vec<String> = via_having.rows.iter().map(|r| r.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "paper's A1/A2 vs B must agree");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn correlated_subquery_matches_view_form() {
+        let mut s = session();
+        let via_view = s
+            .execute(
+                "create view A1(dno, Asal) as \
+                   select e2.dno, avg(e2.sal) from emp e2 group by e2.dno; \
+                 select e1.sal from emp e1, A1 b \
+                  where e1.dno = b.dno and e1.age < 22 and e1.sal > b.Asal;",
+            )
+            .unwrap();
+        let via_subquery = s
+            .execute(
+                "select e1.sal from emp e1 where e1.age < 22 and \
+                 e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)",
+            )
+            .unwrap();
+        let mut a: Vec<String> = via_view.rows.iter().map(|r| r.to_string()).collect();
+        let mut b: Vec<String> = via_subquery.rows.iter().map(|r| r.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn example2_results() {
+        let mut s = session();
+        let r = s
+            .execute(
+                "select e.dno, avg(e.sal) from emp e, dept d \
+                  where e.dno = d.dno and d.budget < 1000000 group by e.dno",
+            )
+            .unwrap();
+        assert_eq!(r.columns, vec!["dno", "AVG(e.sal)"]);
+        assert!(r.io_pages > 0.0);
+        assert!(r.plan.contains("GroupBy"));
+    }
+
+    #[test]
+    fn plan_without_execution() {
+        let mut s = session();
+        let (bound, opt) = s
+            .plan("select dno, count(*) from emp group by dno having count(*) > 2")
+            .unwrap();
+        assert!(bound.query.group.is_some());
+        assert!(opt.props.cost > 0.0);
+    }
+
+    #[test]
+    fn to_table_renders() {
+        let mut s = session();
+        let r = s
+            .execute("select dno, dname from dept where dno < 2")
+            .unwrap();
+        let t = r.to_table();
+        assert!(t.contains("dno"));
+        assert!(t.contains("dept0"));
+    }
+
+    #[test]
+    fn script_without_select_errors() {
+        let mut s = session();
+        let err = s
+            .execute("create view v as select dno, avg(sal) from emp group by dno")
+            .unwrap_err();
+        assert!(err.message().contains("no SELECT"));
+        assert_eq!(s.view_count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod order_limit_tests {
+    use super::*;
+    use aggview_storage::datagen::{gen_empdept, EmpDeptConfig};
+
+    fn session() -> Session {
+        Session::new(
+            gen_empdept(&EmpDeptConfig {
+                n_depts: 5,
+                emps_per_dept: 6,
+                young_fraction: 0.2,
+                low_budget_fraction: 0.3,
+                seed: 51,
+            })
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn order_by_ascending_and_descending() {
+        let mut s = session();
+        let asc = s.execute("select eno, sal from emp order by sal").unwrap();
+        let desc = s
+            .execute("select eno, sal from emp order by sal desc")
+            .unwrap();
+        let sals = |r: &SqlResult| -> Vec<f64> {
+            r.rows.iter().map(|t| t.get(1).as_f64().unwrap()).collect()
+        };
+        let a = sals(&asc);
+        let d = sals(&desc);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(d.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(a.len(), d.len());
+    }
+
+    #[test]
+    fn order_by_alias_and_multi_key() {
+        let mut s = session();
+        let r = s
+            .execute("select dno, count(*) as n from emp group by dno order by n desc, dno")
+            .unwrap();
+        assert_eq!(r.rows.len(), 5);
+        // All counts equal → tie-broken by dno ascending.
+        let dnos: Vec<i64> = r.rows.iter().map(|t| t.get(0).as_i64().unwrap()).collect();
+        assert!(dnos.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let mut s = session();
+        let r = s
+            .execute("select eno from emp order by eno limit 3")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        let unlimited = s.execute("select eno from emp limit 1000").unwrap();
+        assert_eq!(unlimited.rows.len(), 30);
+    }
+
+    #[test]
+    fn order_by_unknown_column_errors() {
+        let mut s = session();
+        let err = s.execute("select eno from emp order by bogus").unwrap_err();
+        assert!(err.message().contains("ORDER BY"));
+        assert!(s.execute("select eno from emp limit -1").is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! The table catalog.
+
+use crate::table::Table;
+use aggview_common::{AggViewError, Result};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A concurrent name → table registry.
+///
+/// Names are case-insensitive (normalized to lowercase), matching SQL
+/// identifier behaviour. Lookups hand out `Arc<Table>` so executors and
+/// optimizers can hold tables without locking.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table; rejects duplicates.
+    pub fn add(&self, table: Arc<Table>) -> Result<()> {
+        let key = table.name().to_ascii_lowercase();
+        let mut map = self.tables.write();
+        if map.contains_key(&key) {
+            return Err(AggViewError::Catalog(format!(
+                "table `{}` already exists",
+                table.name()
+            )));
+        }
+        map.insert(key, table);
+        Ok(())
+    }
+
+    /// Register a table, replacing any existing one with the same name.
+    pub fn add_or_replace(&self, table: Arc<Table>) {
+        let key = table.name().to_ascii_lowercase();
+        self.tables.write().insert(key, table);
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| AggViewError::Catalog(format!("unknown table `{name}`")))
+    }
+
+    /// True if a table with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_common::{DataType, Schema};
+
+    fn table(name: &str) -> Arc<Table> {
+        Table::builder(name, Schema::of(&[("a", DataType::Int)]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn add_get_case_insensitive() {
+        let c = Catalog::new();
+        c.add(table("Emp")).unwrap();
+        assert!(c.contains("EMP"));
+        assert_eq!(c.get("emp").unwrap().name(), "Emp");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let c = Catalog::new();
+        c.add(table("t")).unwrap();
+        let err = c.add(table("T")).unwrap_err();
+        assert_eq!(err.kind(), "catalog");
+    }
+
+    #[test]
+    fn add_or_replace_overwrites() {
+        let c = Catalog::new();
+        c.add(table("t")).unwrap();
+        c.add_or_replace(table("t"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn unknown_lookup_errors() {
+        let c = Catalog::new();
+        assert!(c.get("ghost").is_err());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let c = Catalog::new();
+        c.add(table("zeta")).unwrap();
+        c.add(table("alpha")).unwrap();
+        assert_eq!(c.table_names(), vec!["alpha", "zeta"]);
+    }
+}

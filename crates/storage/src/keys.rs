@@ -1,0 +1,86 @@
+//! Key declarations.
+//!
+//! Keys are load-bearing in this system, not decoration:
+//!
+//! * The **pull-up transformation** (paper Definition 1) adds "a primary
+//!   key of R2" to the deferred group-by's grouping columns — and may
+//!   omit it when the join is a **foreign-key join** into R2.
+//! * **Invariant grouping** (Section 4.1) is sound when each tuple of the
+//!   grouped side matches at most one tuple of the other side, i.e. the
+//!   join equates with a key.
+//!
+//! "In the absence of a declared primary key, the query engine can use
+//! the internal tuple id as a key" — [`crate::Table`] exposes a synthetic
+//! row-id column for exactly that case.
+
+/// A primary key: a set of column ordinals whose values are unique.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimaryKey {
+    /// Column ordinals forming the key (non-empty, duplicate-free).
+    pub cols: Vec<usize>,
+}
+
+impl PrimaryKey {
+    pub fn new(cols: Vec<usize>) -> PrimaryKey {
+        assert!(!cols.is_empty(), "primary key needs at least one column");
+        PrimaryKey { cols }
+    }
+
+    /// Single-column key.
+    pub fn single(col: usize) -> PrimaryKey {
+        PrimaryKey { cols: vec![col] }
+    }
+}
+
+/// A foreign key: `cols` of the child table reference `parent_cols`
+/// (a key) of `parent` table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing column ordinals in the child table.
+    pub cols: Vec<usize>,
+    /// Name of the referenced (parent) table.
+    pub parent: String,
+    /// Referenced column ordinals in the parent table (its key).
+    pub parent_cols: Vec<usize>,
+}
+
+impl ForeignKey {
+    pub fn new(cols: Vec<usize>, parent: impl Into<String>, parent_cols: Vec<usize>) -> ForeignKey {
+        assert_eq!(cols.len(), parent_cols.len(), "foreign key arity mismatch");
+        assert!(!cols.is_empty(), "foreign key needs at least one column");
+        ForeignKey {
+            cols,
+            parent: parent.into(),
+            parent_cols,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_column_key() {
+        assert_eq!(PrimaryKey::single(2).cols, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_primary_key_rejected() {
+        PrimaryKey::new(vec![]);
+    }
+
+    #[test]
+    fn foreign_key_holds_parent() {
+        let fk = ForeignKey::new(vec![2], "dept", vec![0]);
+        assert_eq!(fk.parent, "dept");
+        assert_eq!(fk.parent_cols, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn mismatched_fk_arity_rejected() {
+        ForeignKey::new(vec![0, 1], "t", vec![0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! In-memory relational storage substrate for the aggview workspace.
+//!
+//! The paper was evaluated inside a full DBMS; this crate provides the
+//! equivalent substrate, built from scratch:
+//!
+//! * [`Table`] / [`TableBuilder`] — immutable in-memory relations with
+//!   declared primary and foreign keys (the pull-up transformation's
+//!   correctness hinges on key information; see paper Definition 1),
+//! * [`Catalog`] — a concurrent name → table registry,
+//! * [`TableStats`] / [`ColumnStats`] — row counts, distinct counts,
+//!   min/max, average widths and equi-depth histograms feeding the cost
+//!   model's cardinality estimation,
+//! * [`PageModel`] — the byte→page accounting shared by the cost model
+//!   (estimates) and the executor (measurements),
+//! * [`datagen`] — synthetic workload generators: the paper's Emp/Dept
+//!   running example, a TPC-D-like decision-support star schema, and
+//!   random catalogs for property-based testing.
+
+pub mod catalog;
+pub mod datagen;
+pub mod keys;
+pub mod page;
+pub mod stats;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use keys::{ForeignKey, PrimaryKey};
+pub use page::PageModel;
+pub use stats::{ColumnStats, Histogram, TableStats};
+pub use table::{Table, TableBuilder};

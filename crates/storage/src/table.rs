@@ -1,0 +1,313 @@
+//! Immutable in-memory tables.
+
+use crate::keys::{ForeignKey, PrimaryKey};
+use crate::stats::{analyze, TableStats};
+use aggview_common::{AggViewError, DataType, Result, Schema, Tuple, Value};
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable relation: schema, rows, key declarations, statistics.
+///
+/// Tables are built once via [`TableBuilder`] (which validates arity,
+/// types and key uniqueness, then computes exact statistics) and then
+/// shared read-only behind `Arc` — the workload of a decision-support
+/// optimizer is read-dominated, and immutability keeps statistics
+/// trustworthy by construction.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Tuple>,
+    primary_key: Option<PrimaryKey>,
+    foreign_keys: Vec<ForeignKey>,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Start building a table.
+    pub fn builder(name: impl Into<String>, schema: Schema) -> TableBuilder {
+        TableBuilder {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            primary_key: None,
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Declared primary key, if any.
+    pub fn primary_key(&self) -> Option<&PrimaryKey> {
+        self.primary_key.as_ref()
+    }
+
+    /// Declared foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Exact statistics computed at build time.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// True if `cols` is a superset of some key of this table — i.e.
+    /// values of `cols` functionally determine the row. Used by the
+    /// invariant-grouping applicability test and by pull-up's key
+    /// machinery.
+    pub fn cols_contain_key(&self, cols: &[usize]) -> bool {
+        match &self.primary_key {
+            Some(pk) => pk.cols.iter().all(|k| cols.contains(k)),
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{} [{} rows]", self.name, self.schema, self.len())
+    }
+}
+
+/// Builder enforcing table invariants before the table becomes shareable.
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    rows: Vec<Tuple>,
+    primary_key: Option<PrimaryKey>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableBuilder {
+    /// Declare the primary key by column names.
+    pub fn primary_key(mut self, cols: &[&str]) -> Result<TableBuilder> {
+        let idxs = self.resolve_cols(cols)?;
+        self.primary_key = Some(PrimaryKey::new(idxs));
+        Ok(self)
+    }
+
+    /// Declare a foreign key by column names.
+    pub fn foreign_key(
+        mut self,
+        cols: &[&str],
+        parent: &str,
+        parent_cols: &[usize],
+    ) -> Result<TableBuilder> {
+        let idxs = self.resolve_cols(cols)?;
+        self.foreign_keys
+            .push(ForeignKey::new(idxs, parent, parent_cols.to_vec()));
+        Ok(self)
+    }
+
+    fn resolve_cols(&self, cols: &[&str]) -> Result<Vec<usize>> {
+        let mut idxs = Vec::with_capacity(cols.len());
+        for c in cols {
+            idxs.push(self.schema.resolve(c)?);
+        }
+        Ok(idxs)
+    }
+
+    /// Append a row, validating arity and types.
+    pub fn row(mut self, values: Vec<Value>) -> Result<TableBuilder> {
+        self.push(Tuple::new(values))?;
+        Ok(self)
+    }
+
+    /// Append a row (non-consuming form for loops).
+    pub fn push(&mut self, row: Tuple) -> Result<()> {
+        if row.arity() != self.schema.len() {
+            return Err(AggViewError::Schema(format!(
+                "table `{}` expects {} columns, row has {}",
+                self.name,
+                self.schema.len(),
+                row.arity()
+            )));
+        }
+        for (i, v) in row.values().iter().enumerate() {
+            let expect = self.schema.field(i).ty;
+            let got = v.data_type();
+            // Int is acceptable where Float is declared (numeric widening).
+            let ok = got == expect || (expect == DataType::Float && got == DataType::Int);
+            if !ok {
+                return Err(AggViewError::Schema(format!(
+                    "table `{}` column `{}` expects {expect}, got {got}",
+                    self.name,
+                    self.schema.field(i).name
+                )));
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Validate keys, compute statistics, freeze.
+    pub fn build(self) -> Result<Arc<Table>> {
+        if let Some(pk) = &self.primary_key {
+            let mut seen: HashSet<Tuple> = HashSet::with_capacity(self.rows.len());
+            for row in &self.rows {
+                let key = row.project(&pk.cols);
+                if !seen.insert(key) {
+                    return Err(AggViewError::Schema(format!(
+                        "table `{}`: duplicate primary key value in row {}",
+                        self.name, row
+                    )));
+                }
+            }
+        }
+        let stats = analyze(&self.rows, self.schema.len());
+        Ok(Arc::new(Table {
+            name: self.name,
+            schema: self.schema,
+            rows: self.rows,
+            primary_key: self.primary_key,
+            foreign_keys: self.foreign_keys,
+            stats,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_common::tuple;
+
+    fn dept_schema() -> Schema {
+        Schema::of(&[
+            ("dno", DataType::Int),
+            ("dname", DataType::Str),
+            ("budget", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let t = Table::builder("dept", dept_schema())
+            .primary_key(&["dno"])
+            .unwrap()
+            .row(vec![Value::Int(1), Value::str("eng"), Value::Float(5e5)])
+            .unwrap()
+            .row(vec![Value::Int(2), Value::str("hr"), Value::Float(2e5)])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.stats().rows, 2);
+        assert_eq!(t.primary_key().unwrap().cols, vec![0]);
+        assert_eq!(t.name(), "dept");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = Table::builder("dept", dept_schema())
+            .row(vec![Value::Int(1)])
+            .unwrap_err();
+        assert_eq!(err.kind(), "schema");
+    }
+
+    #[test]
+    fn type_mismatch_rejected_but_int_widens_to_float() {
+        let b = Table::builder("dept", dept_schema())
+            // budget declared FLOAT, Int(5) accepted via widening
+            .row(vec![Value::Int(1), Value::str("x"), Value::Int(5)])
+            .unwrap();
+        let err = b
+            .row(vec![Value::str("no"), Value::str("x"), Value::Float(1.0)])
+            .unwrap_err();
+        assert!(err.message().contains("dno"));
+    }
+
+    #[test]
+    fn duplicate_primary_key_rejected_at_build() {
+        let err = Table::builder("dept", dept_schema())
+            .primary_key(&["dno"])
+            .unwrap()
+            .row(vec![Value::Int(1), Value::str("a"), Value::Float(1.0)])
+            .unwrap()
+            .row(vec![Value::Int(1), Value::str("b"), Value::Float(2.0)])
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(err.message().contains("duplicate primary key"));
+    }
+
+    #[test]
+    fn unknown_key_column_rejected() {
+        let err = Table::builder("dept", dept_schema())
+            .primary_key(&["nope"])
+            .unwrap_err();
+        assert_eq!(err.kind(), "bind");
+    }
+
+    #[test]
+    fn cols_contain_key() {
+        let t = Table::builder("dept", dept_schema())
+            .primary_key(&["dno"])
+            .unwrap()
+            .row(vec![Value::Int(1), Value::str("a"), Value::Float(1.0)])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(t.cols_contain_key(&[0]));
+        assert!(t.cols_contain_key(&[2, 0]));
+        assert!(!t.cols_contain_key(&[1, 2]));
+        let nokey = Table::builder("x", dept_schema()).build().unwrap();
+        assert!(!nokey.cols_contain_key(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn push_loop_form() {
+        let mut b = Table::builder("d", dept_schema());
+        for i in 0..10 {
+            b.push(tuple![i as i64, "n", (i * 100) as f64]).unwrap();
+        }
+        let t = b.build().unwrap();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.stats().columns[0].distinct, 10);
+    }
+
+    #[test]
+    fn foreign_key_declaration() {
+        let emp = Schema::of(&[("eno", DataType::Int), ("dno", DataType::Int)]);
+        let t = Table::builder("emp", emp)
+            .foreign_key(&["dno"], "dept", &[0])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(t.foreign_keys().len(), 1);
+        assert_eq!(t.foreign_keys()[0].parent, "dept");
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let t = Table::builder("dept", dept_schema()).build().unwrap();
+        assert!(t.to_string().contains("dept"));
+        assert!(t.to_string().contains("0 rows"));
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Correlated nested subqueries: flatten, then optimize.
+//!
+//! The paper's Section 1: optimizing queries with aggregate views "also
+//! directly bears upon the problem of optimizing queries with nested
+//! subqueries", via Kim-style flattening. This example takes the
+//! correlated form of Example 1, evaluates it three ways, and compares
+//! measured IO:
+//!
+//! 1. **naive correlated execution** — one inner scan per outer tuple
+//!    (what a system without flattening does on an unindexed table);
+//! 2. **flattened + traditional optimizer** — Kim's transformation
+//!    produces a join with an aggregate view, optimized block-by-block;
+//! 3. **flattened + this paper's optimizer** — pull-up/push-down
+//!    enabled.
+//!
+//! Run with: `cargo run --example nested_subqueries`
+
+use aggview::core::cost::ops::IoParams;
+use aggview::core::{optimize, CostModel, OptimizerConfig};
+use aggview::executor::correlated::{execute_correlated, CorrelatedQuery};
+use aggview::executor::Engine;
+use aggview::sql::Session;
+use aggview::storage::datagen::{gen_empdept, EmpDeptConfig};
+use aggview::{CmpOp, Col, Predicate, RelId, Value};
+
+fn main() {
+    let cfg = EmpDeptConfig {
+        n_depts: 100,
+        emps_per_dept: 30,
+        young_fraction: 0.15,
+        low_budget_fraction: 0.3,
+        seed: 9,
+    };
+    let catalog = gen_empdept(&cfg).expect("catalog");
+    let model = CostModel {
+        io: IoParams {
+            mem_pages: 16.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let sql = "select e1.sal from emp e1 where e1.age < 22 and \
+               e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)";
+    println!("query:\n  {sql}\n");
+
+    // (1) Naive correlated execution.
+    let corr = CorrelatedQuery {
+        outer: "emp".into(),
+        inner: "emp".into(),
+        outer_filters: vec![Predicate::cmp_const(
+            Col::base(RelId(0), 4),
+            CmpOp::Lt,
+            Value::Int(22),
+        )],
+        corr_outer: 2,
+        corr_inner: 2,
+        cmp_col: 3,
+        op: CmpOp::Gt,
+        agg: aggview::AggFunc::Avg,
+        agg_col: 3,
+        project: vec![3],
+    };
+    let naive = execute_correlated(&corr, &catalog, &model).expect("correlated");
+    println!(
+        "(1) naive correlated evaluation: {} rows, {} inner scans, {:.1} pages",
+        naive.rows.len(),
+        naive.inner_scans,
+        naive.io_pages
+    );
+
+    // (2)/(3) Flatten via the SQL frontend, optimize both ways.
+    let mut session = Session::new(catalog);
+    session.model = model;
+    let (bound, _) = session.plan(sql).expect("bind+flatten");
+    println!(
+        "    flattening produced {} aggregate view(s) (Kim type-JA)",
+        bound.query.views.len()
+    );
+
+    let engine = Engine::new(session.catalog(), &bound.query.env, model);
+    let trad = optimize(
+        &bound.query,
+        session.catalog(),
+        model,
+        &OptimizerConfig::traditional(),
+    )
+    .expect("traditional");
+    let trad_rs = engine.execute(&trad.plan).expect("exec traditional");
+    println!(
+        "(2) flattened, traditional optimizer: {} rows, {:.1} pages",
+        trad_rs.rows.len(),
+        trad_rs.io_pages
+    );
+
+    let full = optimize(
+        &bound.query,
+        session.catalog(),
+        model,
+        &OptimizerConfig::default(),
+    )
+    .expect("full");
+    let full_rs = engine.execute(&full.plan).expect("exec full");
+    println!(
+        "(3) flattened, aggregate-view optimizer: {} rows, {:.1} pages",
+        full_rs.rows.len(),
+        full_rs.io_pages
+    );
+
+    assert_eq!(naive.rows.len(), trad_rs.rows.len());
+    assert_eq!(naive.rows.len(), full_rs.rows.len());
+    println!(
+        "\nspeedup over naive: traditional {:.0}×, this paper {:.0}×",
+        naive.io_pages / trad_rs.io_pages,
+        naive.io_pages / full_rs.io_pages
+    );
+}

@@ -1,0 +1,193 @@
+//! `aggview-repl` — an interactive shell for the aggregate-view
+//! optimizer.
+//!
+//! ```text
+//! $ cargo run --bin repl
+//! aggview> .gen empdept 50 20
+//! aggview> create view A1(dno, Asal) as
+//!          select e2.dno, avg(e2.sal) from emp e2 group by e2.dno;
+//! aggview> select e1.sal from emp e1, A1 b
+//!          where e1.dno = b.dno and e1.age < 22 and e1.sal > b.Asal;
+//! aggview> .explain select dno, count(*) from emp group by dno;
+//! ```
+//!
+//! Dot-commands: `.help`, `.tables`, `.gen empdept [depts emps_per_dept]`,
+//! `.gen star [customers]`, `.mem <pages>`, `.mode <traditional|pushdown|full>`,
+//! `.explain <sql>`, `.quit`. Everything else is SQL (`;`-terminated,
+//! may span lines).
+
+use aggview::core::cost::ops::IoParams;
+use aggview::core::{CostModel, OptimizerConfig};
+use aggview::sql::Session;
+use aggview::storage::datagen::{gen_empdept, gen_star, EmpDeptConfig, StarConfig};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut session =
+        Session::new(gen_empdept(&EmpDeptConfig::default()).expect("default catalog"));
+    println!(
+        "aggview repl — default Emp/Dept catalog loaded ({} tables). Type .help",
+        session.catalog().len()
+    );
+
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !dot_command(trimmed, &mut session) {
+                break;
+            }
+            prompt(&buffer);
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if trimmed.ends_with(';') {
+            run_sql(&buffer, &mut session);
+            buffer.clear();
+        }
+        prompt(&buffer);
+    }
+}
+
+fn prompt(buffer: &str) {
+    if buffer.is_empty() {
+        print!("aggview> ");
+    } else {
+        print!("      -> ");
+    }
+    let _ = io::stdout().flush();
+}
+
+fn run_sql(sql: &str, session: &mut Session) {
+    match session.execute(sql) {
+        Ok(result) => {
+            print!("{}", result.to_table());
+            println!(
+                "({} rows; measured IO {:.1} pages, estimated cost {:.1})",
+                result.rows.len(),
+                result.io_pages,
+                result.estimated_cost
+            );
+        }
+        Err(e) => println!("{e}"),
+    }
+}
+
+/// Returns false to quit.
+fn dot_command(cmd: &str, session: &mut Session) -> bool {
+    let parts: Vec<&str> = cmd.splitn(2, ' ').collect();
+    match parts[0] {
+        ".quit" | ".exit" => return false,
+        ".help" => {
+            println!(
+                ".tables                      list tables\n\
+                 .gen empdept [depts emps]    load a fresh Emp/Dept catalog\n\
+                 .gen star [customers]        load a TPC-D-like star catalog\n\
+                 .mem <pages>                 set the operator memory budget\n\
+                 .mode <traditional|pushdown|full>  optimizer configuration\n\
+                 .explain <sql>               show the chosen plan without running\n\
+                 .quit                        leave"
+            );
+        }
+        ".tables" => {
+            for name in session.catalog().table_names() {
+                let t = session.catalog().get(&name).unwrap();
+                println!("{name}{} [{} rows]", t.schema(), t.len());
+            }
+        }
+        ".mem" => match parts.get(1).and_then(|s| s.trim().parse::<f64>().ok()) {
+            Some(pages) if pages > 0.0 => {
+                session.model = CostModel {
+                    io: IoParams {
+                        mem_pages: pages,
+                        ..session.model.io
+                    },
+                    ..session.model
+                };
+                println!("memory budget: {pages} pages");
+            }
+            _ => println!("usage: .mem <pages>"),
+        },
+        ".mode" => match parts.get(1).map(|s| s.trim()) {
+            Some("traditional") => {
+                session.config = OptimizerConfig::traditional();
+                println!("optimizer: traditional two-phase");
+            }
+            Some("pushdown") => {
+                session.config = OptimizerConfig::push_down_only();
+                println!("optimizer: push-down only (greedy conservative)");
+            }
+            Some("full") => {
+                session.config = OptimizerConfig::default();
+                println!("optimizer: full (pull-up + push-down)");
+            }
+            _ => println!("usage: .mode <traditional|pushdown|full>"),
+        },
+        ".gen" => {
+            let args: Vec<&str> = parts
+                .get(1)
+                .map(|s| s.split_whitespace().collect())
+                .unwrap_or_default();
+            match args.first().copied() {
+                Some("empdept") => {
+                    let depts = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+                    let emps = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50);
+                    match gen_empdept(&EmpDeptConfig {
+                        n_depts: depts,
+                        emps_per_dept: emps,
+                        ..Default::default()
+                    }) {
+                        Ok(cat) => {
+                            *session = with_settings(session, cat);
+                            println!("loaded emp ({} rows) / dept ({depts} rows)", depts * emps);
+                        }
+                        Err(e) => println!("{e}"),
+                    }
+                }
+                Some("star") => {
+                    let customers = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+                    match gen_star(&StarConfig {
+                        customers,
+                        ..Default::default()
+                    }) {
+                        Ok(cat) => {
+                            *session = with_settings(session, cat);
+                            println!("loaded star schema ({customers} customers)");
+                        }
+                        Err(e) => println!("{e}"),
+                    }
+                }
+                _ => println!("usage: .gen empdept [depts emps] | .gen star [customers]"),
+            }
+        }
+        ".explain" => match parts.get(1) {
+            Some(sql) => match session.plan(sql) {
+                Ok((_, opt)) => {
+                    println!("{}", opt.plan.explain());
+                    println!(
+                        "estimated cost: {:.1} pages ({})",
+                        opt.props.cost, opt.stats
+                    );
+                }
+                Err(e) => println!("{e}"),
+            },
+            None => println!("usage: .explain <sql>"),
+        },
+        other => println!("unknown command `{other}` — try .help"),
+    }
+    true
+}
+
+fn with_settings(old: &Session, catalog: aggview::storage::Catalog) -> Session {
+    let mut s = Session::new(catalog);
+    s.model = old.model;
+    s.config = old.config;
+    s
+}
