@@ -173,8 +173,8 @@ impl PartialAggState {
     pub fn update(&mut self, arg: Option<&Value>) -> Result<()> {
         match self.func {
             AggFunc::Count => {
-                let n = self.state[0].as_i64().expect("count state");
-                self.state[0] = Value::Int(n + 1);
+                let n = state_i64(&self.state[0], "COUNT")?;
+                self.state[0] = Value::Int(checked_count(n, 1, "COUNT")?);
             }
             AggFunc::Sum => {
                 let v = require_arg(arg, "SUM")?;
@@ -204,20 +204,20 @@ impl PartialAggState {
             AggFunc::Avg => {
                 let v = require_arg(arg, "AVG")?;
                 let x = as_number(v, "AVG")?;
-                let s = self.state[0].as_f64().expect("avg sum state");
-                let n = self.state[1].as_i64().expect("avg count state");
+                let s = state_f64(&self.state[0], "AVG sum")?;
+                let n = state_i64(&self.state[1], "AVG count")?;
                 self.state[0] = Value::Float(s + x);
-                self.state[1] = Value::Int(n + 1);
+                self.state[1] = Value::Int(checked_count(n, 1, "AVG count")?);
             }
             AggFunc::StdDev => {
                 let v = require_arg(arg, "STDDEV")?;
                 let x = as_number(v, "STDDEV")?;
-                let s = self.state[0].as_f64().expect("stddev sum state");
-                let q = self.state[1].as_f64().expect("stddev sumsq state");
-                let n = self.state[2].as_i64().expect("stddev count state");
+                let s = state_f64(&self.state[0], "STDDEV sum")?;
+                let q = state_f64(&self.state[1], "STDDEV sumsq")?;
+                let n = state_i64(&self.state[2], "STDDEV count")?;
                 self.state[0] = Value::Float(s + x);
                 self.state[1] = Value::Float(q + x * x);
-                self.state[2] = Value::Int(n + 1);
+                self.state[2] = Value::Int(checked_count(n, 1, "STDDEV count")?);
             }
         }
         Ok(())
@@ -239,12 +239,12 @@ impl PartialAggState {
     pub fn merge_components(&mut self, other: &[Value]) -> Result<()> {
         match self.func {
             AggFunc::Count => {
-                let a = self.state[0].as_i64().expect("count state");
+                let a = state_i64(&self.state[0], "COUNT")?;
                 let b = other
                     .first()
                     .and_then(Value::as_i64)
                     .ok_or_else(|| AggViewError::Exec("bad COUNT partial state".into()))?;
-                self.state[0] = Value::Int(a + b);
+                self.state[0] = Value::Int(checked_count(a, b, "COUNT")?);
             }
             AggFunc::Sum => match (self.state.first().cloned(), other.first()) {
                 (_, None) => {}
@@ -273,8 +273,12 @@ impl PartialAggState {
                 if other.len() != 2 {
                     return Err(AggViewError::Exec("bad AVG partial state".into()));
                 }
-                let s = self.state[0].as_f64().expect("avg sum") + partial_f64(&other[0])?;
-                let n = self.state[1].as_i64().expect("avg count") + partial_i64(&other[1])?;
+                let s = state_f64(&self.state[0], "AVG sum")? + partial_f64(&other[0])?;
+                let n = checked_count(
+                    state_i64(&self.state[1], "AVG count")?,
+                    partial_i64(&other[1])?,
+                    "AVG count",
+                )?;
                 self.state[0] = Value::Float(s);
                 self.state[1] = Value::Int(n);
             }
@@ -282,9 +286,13 @@ impl PartialAggState {
                 if other.len() != 3 {
                     return Err(AggViewError::Exec("bad STDDEV partial state".into()));
                 }
-                let s = self.state[0].as_f64().expect("stddev sum") + partial_f64(&other[0])?;
-                let q = self.state[1].as_f64().expect("stddev sumsq") + partial_f64(&other[1])?;
-                let n = self.state[2].as_i64().expect("stddev count") + partial_i64(&other[2])?;
+                let s = state_f64(&self.state[0], "STDDEV sum")? + partial_f64(&other[0])?;
+                let q = state_f64(&self.state[1], "STDDEV sumsq")? + partial_f64(&other[1])?;
+                let n = checked_count(
+                    state_i64(&self.state[2], "STDDEV count")?,
+                    partial_i64(&other[2])?,
+                    "STDDEV count",
+                )?;
                 self.state[0] = Value::Float(s);
                 self.state[1] = Value::Float(q);
                 self.state[2] = Value::Int(n);
@@ -310,8 +318,8 @@ impl PartialAggState {
                 })
             }
             AggFunc::Avg => {
-                let s = self.state[0].as_f64().expect("avg sum");
-                let n = self.state[1].as_i64().expect("avg count");
+                let s = state_f64(&self.state[0], "AVG sum")?;
+                let n = state_i64(&self.state[1], "AVG count")?;
                 if n == 0 {
                     Err(AggViewError::Exec(
                         "AVG over empty group (NULL unsupported)".into(),
@@ -321,9 +329,9 @@ impl PartialAggState {
                 }
             }
             AggFunc::StdDev => {
-                let s = self.state[0].as_f64().expect("stddev sum");
-                let q = self.state[1].as_f64().expect("stddev sumsq");
-                let n = self.state[2].as_i64().expect("stddev count");
+                let s = state_f64(&self.state[0], "STDDEV sum")?;
+                let q = state_f64(&self.state[1], "STDDEV sumsq")?;
+                let n = state_i64(&self.state[2], "STDDEV count")?;
                 if n == 0 {
                     Err(AggViewError::Exec(
                         "STDDEV over empty group (NULL unsupported)".into(),
@@ -386,16 +394,37 @@ fn numeric_clone(v: &Value, func: &str) -> Result<Value> {
     }
 }
 
-/// Add two numeric values, staying exact for Int + Int.
+/// Add two numeric values, staying exact for Int + Int. Integer overflow
+/// is an execution error, not a silently wrong result.
 fn add_numeric(a: &Value, b: &Value) -> Result<Value> {
     match (a, b) {
-        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(*y))),
+        (Value::Int(x), Value::Int(y)) => x
+            .checked_add(*y)
+            .map(Value::Int)
+            .ok_or_else(|| AggViewError::Exec(format!("SUM overflow ({x} + {y})"))),
         _ => {
             let x = as_number(a, "SUM")?;
             let y = as_number(b, "SUM")?;
             Ok(Value::Float(x + y))
         }
     }
+}
+
+/// A state value that should be of the given shape but — because partial
+/// states travel through joins as ordinary column values — might not be.
+fn state_f64(v: &Value, what: &str) -> Result<f64> {
+    v.as_f64()
+        .ok_or_else(|| AggViewError::Exec(format!("corrupt {what} state: {v}")))
+}
+
+fn state_i64(v: &Value, what: &str) -> Result<i64> {
+    v.as_i64()
+        .ok_or_else(|| AggViewError::Exec(format!("corrupt {what} state: {v}")))
+}
+
+fn checked_count(a: i64, b: i64, what: &str) -> Result<i64> {
+    a.checked_add(b)
+        .ok_or_else(|| AggViewError::Exec(format!("{what} overflow")))
 }
 
 fn partial_f64(v: &Value) -> Result<f64> {
@@ -528,6 +557,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sum_int_overflow_is_an_error_not_a_wrap() {
+        let mut acc = AggAccumulator::new(AggFunc::Sum);
+        acc.update(Some(&Value::Int(i64::MAX))).unwrap();
+        let err = acc.update(Some(&Value::Int(1))).unwrap_err();
+        assert_eq!(err.kind(), "exec");
+        assert!(err.message().contains("SUM overflow"), "{err}");
+    }
+
+    #[test]
+    fn count_merge_overflow_is_an_error() {
+        let mut a = PartialAggState::empty(AggFunc::Count);
+        a.update(None).unwrap();
+        let err = a.merge_components(&[Value::Int(i64::MAX)]).unwrap_err();
+        assert!(err.message().contains("COUNT overflow"), "{err}");
     }
 
     #[test]

@@ -30,6 +30,14 @@ pub enum AggViewError {
     Exec(String),
     /// The optimizer could not produce a plan (e.g. empty relation set).
     Optimize(String),
+    /// Work was cooperatively cancelled via a `CancellationToken`.
+    Cancelled(String),
+    /// A resource budget (deadline, row/byte budget, optimizer search
+    /// budget) was exhausted before the work completed.
+    ResourceExhausted(String),
+    /// A transient infrastructure failure (injected fault, flaky scan).
+    /// The only retryable class: retrying may succeed.
+    Transient(String),
 }
 
 impl AggViewError {
@@ -43,7 +51,19 @@ impl AggViewError {
             AggViewError::Plan(_) => "plan",
             AggViewError::Exec(_) => "exec",
             AggViewError::Optimize(_) => "optimize",
+            AggViewError::Cancelled(_) => "cancelled",
+            AggViewError::ResourceExhausted(_) => "resource-exhausted",
+            AggViewError::Transient(_) => "transient",
         }
+    }
+
+    /// True when retrying the same work may succeed.
+    ///
+    /// Only [`AggViewError::Transient`] qualifies: cancellation and
+    /// budget exhaustion are deliberate outcomes, and the remaining
+    /// variants are deterministic failures that would simply recur.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, AggViewError::Transient(_))
     }
 
     /// The human-readable message carried by the error.
@@ -55,7 +75,10 @@ impl AggViewError {
             | AggViewError::Catalog(m)
             | AggViewError::Plan(m)
             | AggViewError::Exec(m)
-            | AggViewError::Optimize(m) => m,
+            | AggViewError::Optimize(m)
+            | AggViewError::Cancelled(m)
+            | AggViewError::ResourceExhausted(m)
+            | AggViewError::Transient(m) => m,
         }
     }
 }
@@ -90,11 +113,27 @@ mod tests {
             AggViewError::Plan(String::new()),
             AggViewError::Exec(String::new()),
             AggViewError::Optimize(String::new()),
+            AggViewError::Cancelled(String::new()),
+            AggViewError::ResourceExhausted(String::new()),
+            AggViewError::Transient(String::new()),
         ];
         let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
         kinds.dedup();
         assert_eq!(kinds.len(), errs.len());
+    }
+
+    #[test]
+    fn only_transient_is_retryable() {
+        assert!(AggViewError::Transient("scan glitch".into()).is_retryable());
+        for e in [
+            AggViewError::Parse(String::new()),
+            AggViewError::Exec(String::new()),
+            AggViewError::Cancelled(String::new()),
+            AggViewError::ResourceExhausted(String::new()),
+        ] {
+            assert!(!e.is_retryable(), "{} must not be retryable", e.kind());
+        }
     }
 
     #[test]

@@ -210,12 +210,24 @@ impl BoundExpr {
 }
 
 fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
-    // Integer arithmetic stays exact except division.
+    // Integer arithmetic stays exact except division; overflow is an
+    // execution error rather than a silently wrapped result.
+    let overflow =
+        |a: i64, b: i64| AggViewError::Exec(format!("integer overflow ({a} {} {b})", op.symbol()));
     if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
         return match op {
-            BinaryOp::Add => Ok(Value::Int(a.wrapping_add(b))),
-            BinaryOp::Sub => Ok(Value::Int(a.wrapping_sub(b))),
-            BinaryOp::Mul => Ok(Value::Int(a.wrapping_mul(b))),
+            BinaryOp::Add => a
+                .checked_add(b)
+                .map(Value::Int)
+                .ok_or_else(|| overflow(a, b)),
+            BinaryOp::Sub => a
+                .checked_sub(b)
+                .map(Value::Int)
+                .ok_or_else(|| overflow(a, b)),
+            BinaryOp::Mul => a
+                .checked_mul(b)
+                .map(Value::Int)
+                .ok_or_else(|| overflow(a, b)),
             BinaryOp::Div => {
                 if b == 0 {
                     Err(AggViewError::Exec("division by zero".into()))

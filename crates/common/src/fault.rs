@@ -1,0 +1,213 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultInjector`] is consulted at well-known *sites* (storage
+//! scans, executor operator boundaries) and may turn any of those calls
+//! into a [`AggViewError::Transient`] failure. Injectors are
+//! deterministic — a given seed or schedule always fails the same
+//! calls — so any failing run reproduces exactly.
+//!
+//! Injection is off by default everywhere: production paths pass no
+//! injector and pay only an `Option` check.
+
+use crate::error::{AggViewError, Result};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A hook consulted before fallible infrastructure work.
+///
+/// Implementations return `Err(AggViewError::Transient(_))` to simulate
+/// an infrastructure failure at the call site, or `Ok(())` to let the
+/// operation proceed. `site` names the instrumentation point (e.g.
+/// `"storage.scan.emp"` or `"exec.join"`) so injectors can target
+/// specific operators.
+pub trait FaultInjector: Send + Sync + fmt::Debug {
+    fn fault(&self, site: &str) -> Result<()>;
+}
+
+/// Convenience: consult an optional injector (the common call shape).
+pub fn maybe_fault(injector: Option<&dyn FaultInjector>, site: &str) -> Result<()> {
+    match injector {
+        Some(f) => f.fault(site),
+        None => Ok(()),
+    }
+}
+
+/// Injector that never fails — equivalent to passing no injector.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn fault(&self, _site: &str) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Fails a deterministic pseudo-random subset of calls.
+///
+/// Each call's fate is a pure function of `(seed, site, call index)`,
+/// so a seed fully determines the failure schedule regardless of
+/// timing. `fail_per_mille` is the failure probability in thousandths
+/// (0 = never, 1000 = always).
+pub struct SeededFaultInjector {
+    seed: u64,
+    fail_per_mille: u16,
+    calls: AtomicU64,
+}
+
+impl SeededFaultInjector {
+    pub fn new(seed: u64, fail_per_mille: u16) -> SeededFaultInjector {
+        SeededFaultInjector {
+            seed,
+            fail_per_mille: fail_per_mille.min(1000),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of times the injector has been consulted.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for SeededFaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SeededFaultInjector")
+            .field("seed", &self.seed)
+            .field("fail_per_mille", &self.fail_per_mille)
+            .field("calls", &self.calls())
+            .finish()
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector for SeededFaultInjector {
+    fn fault(&self, site: &str) -> Result<()> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        let mut h = self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for b in site.bytes() {
+            h = mix(h ^ b as u64);
+        }
+        if mix(h) % 1000 < self.fail_per_mille as u64 {
+            Err(AggViewError::Transient(format!(
+                "injected fault at {site} (call #{n}, seed {})",
+                self.seed
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Fails an explicit set of call indices (0-based, counted across all
+/// sites in consultation order).
+///
+/// This is the building block for exhaustive fault-schedule testing:
+/// a schedule like `[0, 3]` fails the first and fourth consulted call
+/// and nothing else.
+pub struct ScheduledFaults {
+    schedule: Vec<u64>,
+    calls: AtomicU64,
+}
+
+impl ScheduledFaults {
+    pub fn failing_calls(schedule: impl IntoIterator<Item = u64>) -> ScheduledFaults {
+        let mut schedule: Vec<u64> = schedule.into_iter().collect();
+        schedule.sort_unstable();
+        schedule.dedup();
+        ScheduledFaults {
+            schedule,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of times the injector has been consulted.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for ScheduledFaults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScheduledFaults")
+            .field("schedule", &self.schedule)
+            .field("calls", &self.calls())
+            .finish()
+    }
+}
+
+impl FaultInjector for ScheduledFaults {
+    fn fault(&self, site: &str) -> Result<()> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.schedule.binary_search(&n).is_ok() {
+            Err(AggViewError::Transient(format!(
+                "injected fault at {site} (call #{n}, scheduled)"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_never_fails() {
+        for i in 0..100 {
+            assert!(NoFaults.fault(&format!("site{i}")).is_ok());
+        }
+    }
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let run = |seed| {
+            let inj = SeededFaultInjector::new(seed, 300);
+            (0..200)
+                .map(|i| inj.fault(&format!("s{}", i % 3)).is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        assert!(run(7).iter().any(|&f| f), "p=0.3 over 200 calls must fire");
+    }
+
+    #[test]
+    fn seeded_extremes() {
+        let never = SeededFaultInjector::new(1, 0);
+        let always = SeededFaultInjector::new(1, 1000);
+        for _ in 0..50 {
+            assert!(never.fault("x").is_ok());
+            assert!(always.fault("x").is_err());
+        }
+    }
+
+    #[test]
+    fn scheduled_fails_exactly_listed_calls() {
+        let inj = ScheduledFaults::failing_calls([1, 3]);
+        let fates: Vec<bool> = (0..5).map(|_| inj.fault("s").is_err()).collect();
+        assert_eq!(fates, [false, true, false, true, false]);
+        assert_eq!(inj.calls(), 5);
+    }
+
+    #[test]
+    fn injected_errors_are_transient_and_retryable() {
+        let inj = ScheduledFaults::failing_calls([0]);
+        let err = inj.fault("scan").unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(err.kind(), "transient");
+        assert!(err.message().contains("scan"));
+    }
+
+    #[test]
+    fn maybe_fault_short_circuits() {
+        assert!(maybe_fault(None, "s").is_ok());
+        let inj = ScheduledFaults::failing_calls([0]);
+        assert!(maybe_fault(Some(&inj), "s").is_err());
+    }
+}

@@ -19,6 +19,7 @@
 pub mod agg;
 pub mod error;
 pub mod expr;
+pub mod fault;
 pub mod ids;
 pub mod predicate;
 pub mod schema;
@@ -28,6 +29,7 @@ pub mod value;
 pub use agg::{AggAccumulator, AggFunc, AggSpec, PartialAggState};
 pub use error::{AggViewError, Result};
 pub use expr::{BinaryOp, Expr};
+pub use fault::{FaultInjector, NoFaults, ScheduledFaults, SeededFaultInjector};
 pub use ids::{AggRef, Col, ColRef, PartRef, RelId, ViewId};
 pub use predicate::{CmpOp, Predicate};
 pub use schema::{Field, Schema};

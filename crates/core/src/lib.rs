@@ -26,15 +26,19 @@
 //!   predicate-connectivity gating).
 
 pub mod cost;
+pub mod governor;
 pub mod optimizer;
 pub mod plan;
 pub mod query;
 pub mod transform;
 
 pub use cost::{CardEstimator, CostModel, PlanProps};
-pub use optimizer::multi_view::{optimize, Optimized};
-pub use optimizer::single_view::optimize_single_view;
-pub use optimizer::traditional::optimize_traditional;
+pub use governor::{
+    CancellationToken, DegradationReason, OptimizeOutcome, ResourceGovernor, ResourceLimits,
+};
+pub use optimizer::multi_view::{optimize, optimize_governed, Optimized};
+pub use optimizer::single_view::{optimize_single_view, optimize_single_view_governed};
+pub use optimizer::traditional::{optimize_traditional, optimize_traditional_governed};
 pub use optimizer::{OptimizerConfig, PullUpLevel, SearchStats};
 pub use plan::{AggAlgo, GroupBySpec, JoinAlgo, PartialGroupSpec, Plan};
 pub use query::{CanonicalQuery, QueryEnv, TopGroup, ViewDef};

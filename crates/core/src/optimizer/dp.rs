@@ -14,6 +14,7 @@
 //! connected extension exists for some subset.
 
 use crate::cost::{CardEstimator, PlanProps};
+use crate::governor::ResourceGovernor;
 use crate::optimizer::stats::SearchStats;
 use crate::plan::Plan;
 use aggview_common::{AggViewError, Col, Predicate, Result};
@@ -133,6 +134,19 @@ pub fn enumerate_linear(
     est: &CardEstimator<'_>,
     stats: &mut SearchStats,
 ) -> Result<DpEntry> {
+    enumerate_linear_governed(items, preds, required, est, stats, &ResourceGovernor::unlimited())
+}
+
+/// [`enumerate_linear`] under a [`ResourceGovernor`]: each subset
+/// extension checks cancellation/deadline and charges the search budget.
+pub fn enumerate_linear_governed(
+    items: &[DpItem],
+    preds: &[Predicate],
+    required: &BTreeSet<Col>,
+    est: &CardEstimator<'_>,
+    stats: &mut SearchStats,
+    gov: &ResourceGovernor,
+) -> Result<DpEntry> {
     if items.is_empty() {
         return Err(AggViewError::Optimize("no items to enumerate".into()));
     }
@@ -156,6 +170,7 @@ pub fn enumerate_linear(
             },
         );
         stats.memo_entries += 1;
+        gov.charge_memo(1)?;
     }
 
     // Output columns per item, for predicate assignment.
@@ -177,6 +192,7 @@ pub fn enumerate_linear(
                     stats,
                     &mut memo,
                     connected_graph,
+                    gov,
                 )?;
             }
             // Gosper's hack: next subset with the same popcount.
@@ -203,7 +219,9 @@ fn extend_subset(
     stats: &mut SearchStats,
     memo: &mut HashMap<u64, DpEntry>,
     connected_graph: bool,
+    gov: &ResourceGovernor,
 ) -> Result<()> {
+    gov.check_interrupt()?;
     let members: Vec<usize> = (0..items.len())
         .filter(|i| subset & (1 << i) != 0)
         .collect();
@@ -253,6 +271,7 @@ fn extend_subset(
             project.clone(),
         );
         stats.plans_built += 1;
+        gov.charge_plans(1)?;
         let props = est.cost_plan(&plan)?;
         if best.as_ref().is_none_or(|b| props.cost < b.props.cost) {
             best = Some(DpEntry { plan, props });
@@ -261,6 +280,7 @@ fn extend_subset(
     if let Some(b) = best {
         memo.insert(subset, b);
         stats.memo_entries += 1;
+        gov.charge_memo(1)?;
     }
     Ok(())
 }

@@ -24,6 +24,7 @@
 //! per subset.
 
 use crate::cost::CardEstimator;
+use crate::governor::ResourceGovernor;
 use crate::optimizer::dp::{DpEntry, DpItem};
 use crate::optimizer::stats::SearchStats;
 use crate::optimizer::OptimizerConfig;
@@ -66,13 +67,29 @@ struct Entry {
     state: GState,
 }
 
-/// Optimize a single block over the linear-aggregate-join-tree space.
+/// Optimize a single block over the linear-aggregate-join-tree space,
+/// without resource limits.
 pub fn optimize_block(
     q: &BlockQuery,
     est: &CardEstimator<'_>,
     catalog: &Catalog,
     config: &OptimizerConfig,
     stats: &mut SearchStats,
+) -> Result<DpEntry> {
+    optimize_block_governed(q, est, catalog, config, stats, &ResourceGovernor::unlimited())
+}
+
+/// Optimize a single block under a [`ResourceGovernor`]: every subset
+/// extension checks cancellation/deadline and charges the search budget,
+/// so an exhausted budget surfaces as `ResourceExhausted` at the next
+/// enumeration boundary (callers degrade to the traditional plan).
+pub fn optimize_block_governed(
+    q: &BlockQuery,
+    est: &CardEstimator<'_>,
+    catalog: &Catalog,
+    config: &OptimizerConfig,
+    stats: &mut SearchStats,
+    gov: &ResourceGovernor,
 ) -> Result<DpEntry> {
     let n = q.items.len();
     if n == 0 {
@@ -112,6 +129,7 @@ pub fn optimize_block(
         q,
         est,
         config,
+        gov,
         outsets: &outsets,
         keys: &keys,
         required: &required,
@@ -129,6 +147,7 @@ pub fn optimize_block(
             },
         );
         stats.memo_entries += 1;
+        gov.charge_memo(1)?;
     }
 
     for size in 2..=n {
@@ -154,6 +173,7 @@ struct Ctx<'a, 'b> {
     q: &'a BlockQuery,
     est: &'a CardEstimator<'b>,
     config: &'a OptimizerConfig,
+    gov: &'a ResourceGovernor,
     outsets: &'a [BTreeSet<Col>],
     keys: &'a [Option<Vec<Col>>],
     required: &'a BTreeSet<Col>,
@@ -415,6 +435,7 @@ fn extend(
     memo: &mut HashMap<u64, Entry>,
     stats: &mut SearchStats,
 ) -> Result<()> {
+    ctx.gov.check_interrupt()?;
     let n = ctx.q.items.len();
     let members: Vec<usize> = (0..n).filter(|i| subset & (1 << i) != 0).collect();
 
@@ -457,6 +478,7 @@ fn extend(
             project.clone(),
         );
         stats.plans_built += 1;
+        ctx.gov.charge_plans(1)?;
         let plain_props = ctx.est.cost_plan(&plain)?;
         let mut chosen = Entry {
             plan: plain,
@@ -488,6 +510,7 @@ fn extend(
                 let candidate =
                     Plan::join(early, ctx.q.items[last].plan.clone(), jp, early_project);
                 stats.plans_built += 1;
+                ctx.gov.charge_plans(1)?;
                 let props = ctx.est.cost_plan(&candidate)?;
                 // Greedy conservative rule. The paper compares cost and
                 // *width*; since a grouped plan never has more tuples
@@ -516,6 +539,7 @@ fn extend(
     if let Some(b) = best {
         memo.insert(subset, b);
         stats.memo_entries += 1;
+        ctx.gov.charge_memo(1)?;
     }
     Ok(())
 }

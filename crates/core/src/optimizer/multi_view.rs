@@ -26,8 +26,9 @@
 //! most `k` relations may be pulled per view (k-level pull-up).
 
 use crate::cost::{CardEstimator, CostModel, PlanProps};
+use crate::governor::{OptimizeOutcome, ResourceGovernor};
 use crate::optimizer::dp::DpItem;
-use crate::optimizer::greedy::{optimize_block, BlockQuery};
+use crate::optimizer::greedy::{optimize_block_governed, BlockQuery};
 use crate::optimizer::stats::SearchStats;
 use crate::optimizer::{bitset, rels_of, OptimizerConfig};
 use crate::plan::{all_cols, GroupBySpec, Plan};
@@ -49,6 +50,9 @@ pub struct Optimized {
     /// For each view, the relations pulled through it in the chosen
     /// plan (empty = the view was optimized locally).
     pub pulled: Vec<Vec<RelId>>,
+    /// Whether the full search ran to completion or degraded to the
+    /// traditional two-phase plan after a budget/deadline ran out.
+    pub outcome: OptimizeOutcome,
 }
 
 /// Optimize a canonical query under `config`.
@@ -62,6 +66,57 @@ pub fn optimize(
     catalog: &Catalog,
     model: CostModel,
     config: &OptimizerConfig,
+) -> Result<Optimized> {
+    optimize_governed(query, catalog, model, config, &ResourceGovernor::unlimited())
+}
+
+/// [`optimize`] under a [`ResourceGovernor`].
+///
+/// The governor's search budget (max plans built / memo entries) and
+/// deadline are checked throughout enumeration. When either runs out
+/// mid-search, the optimizer **degrades gracefully**: it falls back to
+/// the traditional two-phase strategy (always in the search space and
+/// cheap to produce) instead of failing, and records the reason in
+/// [`Optimized::outcome`]. Explicit cancellation is different — it means
+/// "stop working", so [`AggViewError::Cancelled`] propagates as an
+/// error and no fallback plan is produced.
+pub fn optimize_governed(
+    query: &CanonicalQuery,
+    catalog: &Catalog,
+    model: CostModel,
+    config: &OptimizerConfig,
+    gov: &ResourceGovernor,
+) -> Result<Optimized> {
+    match optimize_inner(query, catalog, model, config, gov) {
+        Ok(opt) => Ok(opt),
+        Err(AggViewError::ResourceExhausted(msg)) => {
+            let Some(reason) = gov.degradation_reason() else {
+                // Exhaustion not attributable to the search budget or the
+                // optimizer deadline (e.g. an execution-side row budget
+                // shared with this governor): nothing to degrade to.
+                return Err(AggViewError::ResourceExhausted(msg));
+            };
+            let fallback_gov = gov.for_fallback();
+            let mut opt = optimize_inner(
+                query,
+                catalog,
+                model,
+                &OptimizerConfig::traditional(),
+                &fallback_gov,
+            )?;
+            opt.outcome = OptimizeOutcome::Degraded(reason);
+            Ok(opt)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn optimize_inner(
+    query: &CanonicalQuery,
+    catalog: &Catalog,
+    model: CostModel,
+    config: &OptimizerConfig,
+    gov: &ResourceGovernor,
 ) -> Result<Optimized> {
     query.validate(catalog)?;
     let est = CardEstimator::new(model, catalog, &query.env);
@@ -97,11 +152,12 @@ pub fn optimize(
     // Phase 1: per-view W candidates and their optimized blocks.
     let mut per_view: Vec<Vec<ViewBlock>> = Vec::with_capacity(query.views.len());
     for (i, v) in query.views.iter().enumerate() {
+        gov.check_interrupt()?;
         let ws = w_candidates(query, v, v0[i], d[i], bprime, config);
         let mut blocks = Vec::new();
         for w in ws {
             if let Some(vb) =
-                build_view_block(query, v, v0[i], w, &est, catalog, config, &mut stats)?
+                build_view_block(query, v, v0[i], w, &est, catalog, config, &mut stats, gov)?
             {
                 blocks.push(vb);
             }
@@ -119,6 +175,7 @@ pub fn optimize(
     let mut best: Option<Optimized> = None;
     let mut combo: Vec<usize> = vec![0; per_view.len()];
     loop {
+        gov.check_interrupt()?;
         // Disjointness of pulled sets.
         let mut used = 0u64;
         let mut disjoint = true;
@@ -136,7 +193,7 @@ pub fn optimize(
                 .enumerate()
                 .map(|(i, &c)| &per_view[i][c])
                 .collect();
-            match outer_phase(query, &chosen, bprime, &est, catalog, config, &mut stats) {
+            match outer_phase(query, &chosen, bprime, &est, catalog, config, &mut stats, gov) {
                 Ok(candidate) => {
                     if best
                         .as_ref()
@@ -151,6 +208,7 @@ pub fn optimize(
                             props: candidate.props,
                             stats: SearchStats::default(),
                             pulled,
+                            outcome: OptimizeOutcome::Full,
                         });
                     }
                 }
@@ -316,6 +374,7 @@ fn build_view_block(
     catalog: &Catalog,
     config: &OptimizerConfig,
     stats: &mut SearchStats,
+    gov: &ResourceGovernor,
 ) -> Result<Option<ViewBlock>> {
     let view_set = bitset(&view.rels);
     let block_set = v0 | w;
@@ -550,7 +609,7 @@ fn build_view_block(
         project,
     };
     stats.pulled_blocks += 1;
-    let entry = optimize_block(&bq, est, catalog, config, stats)?;
+    let entry = optimize_block_governed(&bq, est, catalog, config, stats, gov)?;
     Ok(Some(ViewBlock {
         w,
         item: DpItem {
@@ -624,6 +683,7 @@ fn make_leaves(
 
 /// Phase 2: enumerate the outer block for one combination of view
 /// blocks.
+#[allow(clippy::too_many_arguments)]
 fn outer_phase(
     query: &CanonicalQuery,
     chosen: &[&ViewBlock],
@@ -632,6 +692,7 @@ fn outer_phase(
     catalog: &Catalog,
     config: &OptimizerConfig,
     stats: &mut SearchStats,
+    gov: &ResourceGovernor,
 ) -> Result<Optimized> {
     // Outer predicate pool: query preds not absorbed anywhere, plus all
     // expelled view predicates.
@@ -736,12 +797,13 @@ fn outer_phase(
         group: g0,
         project: query.projection.clone(),
     };
-    let entry = optimize_block(&bq, est, catalog, config, stats)?;
+    let entry = optimize_block_governed(&bq, est, catalog, config, stats, gov)?;
     Ok(Optimized {
         plan: entry.plan,
         props: entry.props,
         stats: SearchStats::default(),
         pulled: vec![],
+        outcome: OptimizeOutcome::Full,
     })
 }
 

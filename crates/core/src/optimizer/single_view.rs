@@ -17,7 +17,8 @@
 //! * `W ⊉ V − V₀` — combined push-down and pull-up (Figure 4(d)).
 
 use crate::cost::CostModel;
-use crate::optimizer::multi_view::{optimize, Optimized};
+use crate::governor::ResourceGovernor;
+use crate::optimizer::multi_view::{optimize_governed, Optimized};
 use crate::optimizer::OptimizerConfig;
 use crate::query::CanonicalQuery;
 use aggview_common::{AggViewError, Result};
@@ -25,8 +26,8 @@ use aggview_storage::Catalog;
 
 /// Optimize a query with exactly one aggregate view.
 ///
-/// Identical to [`optimize`] but asserts the query shape, making intent
-/// explicit at call sites that implement the paper's Section 5.3
+/// Identical to [`crate::optimize`] but asserts the query shape, making
+/// intent explicit at call sites that implement the paper's Section 5.3
 /// experiments.
 pub fn optimize_single_view(
     query: &CanonicalQuery,
@@ -34,13 +35,24 @@ pub fn optimize_single_view(
     model: CostModel,
     config: &OptimizerConfig,
 ) -> Result<Optimized> {
+    optimize_single_view_governed(query, catalog, model, config, &ResourceGovernor::unlimited())
+}
+
+/// [`optimize_single_view`] under a [`ResourceGovernor`].
+pub fn optimize_single_view_governed(
+    query: &CanonicalQuery,
+    catalog: &Catalog,
+    model: CostModel,
+    config: &OptimizerConfig,
+    gov: &ResourceGovernor,
+) -> Result<Optimized> {
     if query.views.len() != 1 {
         return Err(AggViewError::Optimize(format!(
             "optimize_single_view expects exactly one view, got {}",
             query.views.len()
         )));
     }
-    optimize(query, catalog, model, config)
+    optimize_governed(query, catalog, model, config, gov)
 }
 
 #[cfg(test)]

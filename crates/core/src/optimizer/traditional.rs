@@ -14,7 +14,8 @@
 //! greedy conservative heuristic never fires.
 
 use crate::cost::CostModel;
-use crate::optimizer::multi_view::{optimize, Optimized};
+use crate::governor::ResourceGovernor;
+use crate::optimizer::multi_view::{optimize, optimize_governed, Optimized};
 use crate::optimizer::OptimizerConfig;
 use crate::query::CanonicalQuery;
 use aggview_common::Result;
@@ -27,6 +28,18 @@ pub fn optimize_traditional(
     model: CostModel,
 ) -> Result<Optimized> {
     optimize(query, catalog, model, &OptimizerConfig::traditional())
+}
+
+/// [`optimize_traditional`] under a [`ResourceGovernor`] (this is the
+/// plan the governed optimizer degrades to, so it rarely needs a budget
+/// itself, but it still honors cancellation).
+pub fn optimize_traditional_governed(
+    query: &CanonicalQuery,
+    catalog: &Catalog,
+    model: CostModel,
+    gov: &ResourceGovernor,
+) -> Result<Optimized> {
+    optimize_governed(query, catalog, model, &OptimizerConfig::traditional(), gov)
 }
 
 #[cfg(test)]

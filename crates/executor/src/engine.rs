@@ -6,9 +6,11 @@
 //! computed from the **actual** sizes of its inputs and outputs via the
 //! shared formulas in [`aggview_core::cost::ops`].
 
-use aggview_common::{AggViewError, Col, PartialAggState, Predicate, Result, Tuple, Value};
+use aggview_common::fault::{maybe_fault, FaultInjector};
+use aggview_common::{AggViewError, Col, PartialAggState, Predicate, RelId, Result, Tuple, Value};
 use aggview_core::cost::ops::{self, JoinSides};
 use aggview_core::cost::CostModel;
+use aggview_core::governor::ResourceGovernor;
 use aggview_core::plan::{AggAlgo, GroupBySpec, JoinAlgo, PartialGroupSpec, Plan};
 use aggview_core::query::QueryEnv;
 use aggview_storage::Catalog;
@@ -51,6 +53,26 @@ pub struct Engine<'a> {
     pub model: CostModel,
 }
 
+/// Per-execution state threaded through the operator tree: the IO
+/// breakdown being accumulated, the resource governor consulted at
+/// every operator boundary, and the (off-by-default) fault injector.
+struct ExecCtx<'e> {
+    breakdown: Vec<IoBreakdown>,
+    gov: &'e ResourceGovernor,
+    faults: Option<&'e dyn FaultInjector>,
+}
+
+impl ExecCtx<'_> {
+    /// Charge one materialized output tuple against the row and byte
+    /// budgets. Called exactly once per tuple an operator produces, at
+    /// the moment it is produced, so a budget overrun aborts within the
+    /// operator that crossed it.
+    fn charge_tuple(&self, t: &Tuple) -> Result<()> {
+        self.gov.charge_rows(1)?;
+        self.gov.charge_bytes(t.width() as u64)
+    }
+}
+
 impl<'a> Engine<'a> {
     pub fn new(catalog: &'a Catalog, env: &'a QueryEnv, model: CostModel) -> Self {
         Engine {
@@ -62,73 +84,92 @@ impl<'a> Engine<'a> {
 
     /// Execute a plan, returning rows and measured IO.
     pub fn execute(&self, plan: &Plan) -> Result<ResultSet> {
+        self.execute_governed(plan, &ResourceGovernor::unlimited(), None)
+    }
+
+    /// Execute a plan under a [`ResourceGovernor`] and an optional
+    /// [`FaultInjector`].
+    ///
+    /// Every operator checks cancellation and the wall-clock deadline on
+    /// entry, and charges each materialized output tuple against the
+    /// governor's row/byte budgets, so runaway intermediates abort with
+    /// [`AggViewError::ResourceExhausted`] (or
+    /// [`AggViewError::Cancelled`]) within one operator boundary rather
+    /// than exhausting memory. The fault injector, when present, is
+    /// consulted at storage scans and operator entries and may surface
+    /// [`AggViewError::Transient`] failures for robustness testing.
+    pub fn execute_governed(
+        &self,
+        plan: &Plan,
+        gov: &ResourceGovernor,
+        faults: Option<&dyn FaultInjector>,
+    ) -> Result<ResultSet> {
         plan.validate(self.catalog, &self.env.rel_tables)?;
-        let mut breakdown = Vec::new();
-        let (cols, rows) = self.exec(plan, &mut breakdown)?;
-        let io_pages = breakdown.iter().map(|b| b.pages).sum();
+        let mut ctx = ExecCtx {
+            breakdown: Vec::new(),
+            gov,
+            faults,
+        };
+        let (cols, rows) = self.exec(plan, &mut ctx)?;
+        let io_pages = ctx.breakdown.iter().map(|b| b.pages).sum();
         Ok(ResultSet {
             cols,
             rows,
             io_pages,
-            breakdown,
+            breakdown: ctx.breakdown,
         })
     }
 
-    fn exec(
-        &self,
-        plan: &Plan,
-        breakdown: &mut Vec<IoBreakdown>,
-    ) -> Result<(Vec<Col>, Vec<Tuple>)> {
+    fn exec(&self, plan: &Plan, ctx: &mut ExecCtx<'_>) -> Result<(Vec<Col>, Vec<Tuple>)> {
         match plan {
             Plan::Scan {
-                rel: _,
+                rel,
                 table,
                 filters,
                 project,
-            } => self.exec_scan(plan, table, filters, project, breakdown),
+            } => self.exec_scan(*rel, table, filters, project, ctx),
             Plan::Join {
                 algo,
                 left,
                 right,
                 preds,
                 project,
-            } => self.exec_join(*algo, left, right, preds, project, breakdown),
+            } => self.exec_join(*algo, left, right, preds, project, ctx),
             Plan::GroupBy {
                 algo,
                 input,
                 spec,
                 project,
-            } => self.exec_group_by(*algo, input, spec, project, breakdown),
+            } => self.exec_group_by(*algo, input, spec, project, ctx),
             Plan::PartialGroupBy {
                 algo,
                 input,
                 spec,
                 project,
-            } => self.exec_partial_group_by(*algo, input, spec, project, breakdown),
+            } => self.exec_partial_group_by(*algo, input, spec, project, ctx),
         }
     }
 
     fn exec_scan(
         &self,
-        plan: &Plan,
+        rel: RelId,
         table: &str,
         filters: &[Predicate],
         project: &[Col],
-        breakdown: &mut Vec<IoBreakdown>,
+        ctx: &mut ExecCtx<'_>,
     ) -> Result<(Vec<Col>, Vec<Tuple>)> {
-        let Plan::Scan { rel, .. } = plan else {
-            unreachable!()
-        };
+        ctx.gov.check_interrupt()?;
+        maybe_fault(ctx.faults, &format!("storage.scan.{table}"))?;
         let t = self.catalog.get(table)?;
         // The scan reads the whole table.
         let bytes: usize = t.rows().iter().map(Tuple::width).sum();
         let pages = self.model.page.pages_for_bytes(bytes as f64);
-        breakdown.push(IoBreakdown {
+        ctx.breakdown.push(IoBreakdown {
             op: format!("scan {table}"),
             pages: ops::scan_io(pages),
         });
         // Bind filters against the base layout.
-        let base_cols: Vec<Col> = (0..t.schema().len()).map(|c| Col::base(*rel, c)).collect();
+        let base_cols: Vec<Col> = (0..t.schema().len()).map(|c| Col::base(rel, c)).collect();
         let layout = layout_map(&base_cols);
         let bound: Vec<_> = filters
             .iter()
@@ -149,7 +190,9 @@ impl<'a> Engine<'a> {
                     continue 'row;
                 }
             }
-            rows.push(row.project(&positions));
+            let out = row.project(&positions);
+            ctx.charge_tuple(&out)?;
+            rows.push(out);
         }
         Ok((project.to_vec(), rows))
     }
@@ -161,10 +204,12 @@ impl<'a> Engine<'a> {
         right: &Plan,
         preds: &[Predicate],
         project: &[Col],
-        breakdown: &mut Vec<IoBreakdown>,
+        ctx: &mut ExecCtx<'_>,
     ) -> Result<(Vec<Col>, Vec<Tuple>)> {
-        let (lcols, lrows) = self.exec(left, breakdown)?;
-        let (rcols, rrows) = self.exec(right, breakdown)?;
+        ctx.gov.check_interrupt()?;
+        maybe_fault(ctx.faults, "exec.join")?;
+        let (lcols, lrows) = self.exec(left, ctx)?;
+        let (rcols, rrows) = self.exec(right, ctx)?;
         let sides = JoinSides {
             left_rows: lrows.len() as f64,
             left_pages: self.pages_of(&lrows),
@@ -183,7 +228,7 @@ impl<'a> Engine<'a> {
                 (a, ops::join_io(a, &sides, preds, mem))
             }
         };
-        breakdown.push(IoBreakdown {
+        ctx.breakdown.push(IoBreakdown {
             op: format!("join[{algo}]"),
             pages: charge,
         });
@@ -235,10 +280,13 @@ impl<'a> Engine<'a> {
         if eq_keys.is_empty() {
             // Nested loops.
             for l in &lrows {
+                ctx.gov.check_interrupt()?;
                 for r in &rrows {
                     let combined = l.concat(r);
                     if eval_all(&bound_residual, &combined)? {
-                        out.push(combined.project(&positions));
+                        let t = combined.project(&positions);
+                        ctx.charge_tuple(&t)?;
+                        out.push(t);
                     }
                 }
             }
@@ -275,7 +323,9 @@ impl<'a> Engine<'a> {
                             p.concat(&build[bi])
                         };
                         if eval_all(&bound_residual, &combined)? {
-                            out.push(combined.project(&positions));
+                            let t = combined.project(&positions);
+                            ctx.charge_tuple(&t)?;
+                            out.push(t);
                         }
                     }
                 }
@@ -290,9 +340,11 @@ impl<'a> Engine<'a> {
         input: &Plan,
         spec: &GroupBySpec,
         project: &[Col],
-        breakdown: &mut Vec<IoBreakdown>,
+        ctx: &mut ExecCtx<'_>,
     ) -> Result<(Vec<Col>, Vec<Tuple>)> {
-        let (icols, irows) = self.exec(input, breakdown)?;
+        ctx.gov.check_interrupt()?;
+        maybe_fault(ctx.faults, "exec.groupby")?;
+        let (icols, irows) = self.exec(input, ctx)?;
         let layout = layout_map(&icols);
 
         // Group-key positions.
@@ -391,6 +443,7 @@ impl<'a> Engine<'a> {
             let full = Tuple::new(values);
             if eval_all(&bound_having, &full)? {
                 let t = full.project(&positions);
+                ctx.charge_tuple(&t)?;
                 out_bytes += t.width();
                 out.push(t);
             }
@@ -405,7 +458,7 @@ impl<'a> Engine<'a> {
             AggAlgo::Hash => (AggAlgo::Hash, ops::hash_agg_io(in_pages, out_pages, &io)),
             AggAlgo::Sort => (AggAlgo::Sort, ops::sort_agg_io(in_pages, io.mem_pages)),
         };
-        breakdown.push(IoBreakdown {
+        ctx.breakdown.push(IoBreakdown {
             op: format!("groupby[{algo}] {}", spec.owner),
             pages: charge,
         });
@@ -418,9 +471,11 @@ impl<'a> Engine<'a> {
         input: &Plan,
         spec: &PartialGroupSpec,
         project: &[Col],
-        breakdown: &mut Vec<IoBreakdown>,
+        ctx: &mut ExecCtx<'_>,
     ) -> Result<(Vec<Col>, Vec<Tuple>)> {
-        let (icols, irows) = self.exec(input, breakdown)?;
+        ctx.gov.check_interrupt()?;
+        maybe_fault(ctx.faults, "exec.partial-groupby")?;
+        let (icols, irows) = self.exec(input, ctx)?;
         let layout = layout_map(&icols);
         let key_pos: Vec<usize> = spec
             .group_cols
@@ -487,6 +542,7 @@ impl<'a> Engine<'a> {
             }
             let full = Tuple::new(values);
             let t = full.project(&positions);
+            ctx.charge_tuple(&t)?;
             out_bytes += t.width();
             out.push(t);
         }
@@ -499,7 +555,7 @@ impl<'a> Engine<'a> {
             AggAlgo::Hash => (AggAlgo::Hash, ops::hash_agg_io(in_pages, out_pages, &io)),
             AggAlgo::Sort => (AggAlgo::Sort, ops::sort_agg_io(in_pages, io.mem_pages)),
         };
-        breakdown.push(IoBreakdown {
+        ctx.breakdown.push(IoBreakdown {
             op: format!("partial-groupby[{algo}]"),
             pages: charge,
         });

@@ -3,9 +3,10 @@
 use crate::ast::Stmt;
 use crate::binder::{bind, BoundQuery, ViewRegistry};
 use crate::parser::parse_script;
-use aggview_common::{AggViewError, Result, Tuple};
+use aggview_common::{AggViewError, FaultInjector, Result, Tuple};
 use aggview_core::cost::CostModel;
-use aggview_core::optimizer::multi_view::{optimize, Optimized};
+use aggview_core::governor::{OptimizeOutcome, ResourceGovernor, ResourceLimits};
+use aggview_core::optimizer::multi_view::{optimize_governed, Optimized};
 use aggview_core::OptimizerConfig;
 use aggview_executor::Engine;
 use aggview_storage::Catalog;
@@ -23,6 +24,11 @@ pub struct SqlResult {
     pub estimated_cost: f64,
     /// EXPLAIN-style rendering of the executed plan.
     pub plan: String,
+    /// Whether the optimizer completed its full search or degraded to
+    /// the traditional two-phase plan (and why).
+    pub outcome: OptimizeOutcome,
+    /// Retries consumed recovering from transient failures.
+    pub retries: u32,
 }
 
 impl SqlResult {
@@ -71,6 +77,15 @@ pub struct Session {
     pub model: CostModel,
     /// Optimizer configuration (pull-up level, push-down, gating).
     pub config: OptimizerConfig,
+    /// Resource limits applied to every statement. A fresh
+    /// [`ResourceGovernor`] is created per attempt so budgets reset
+    /// between statements and between retries.
+    pub limits: ResourceLimits,
+    /// Automatic retries of retryable (transient) failures per
+    /// statement. Non-retryable errors — cancellation, budget
+    /// exhaustion, plan/bind errors — never retry.
+    pub max_retries: u32,
+    faults: Option<Box<dyn FaultInjector>>,
 }
 
 impl Session {
@@ -81,12 +96,21 @@ impl Session {
             registry: ViewRegistry::new(),
             model: CostModel::default(),
             config: OptimizerConfig::default(),
+            limits: ResourceLimits::unlimited(),
+            max_retries: 2,
+            faults: None,
         }
     }
 
     /// The underlying catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Install (or clear) a fault injector consulted at storage scans
+    /// and executor operator boundaries. Testing hook; off by default.
+    pub fn set_fault_injector(&mut self, faults: Option<Box<dyn FaultInjector>>) {
+        self.faults = faults;
     }
 
     /// Number of registered views.
@@ -136,14 +160,32 @@ impl Session {
         }
         let s = select.ok_or_else(|| AggViewError::Bind("script contains no SELECT".into()))?;
         let bound = bind(&s, &self.catalog, &self.registry)?;
-        let opt = optimize(&bound.query, &self.catalog, self.model, &self.config)?;
+        let gov = ResourceGovernor::new(self.limits);
+        let opt = optimize_governed(&bound.query, &self.catalog, self.model, &self.config, &gov)?;
         Ok((bound, opt))
     }
 
     fn run_bound(&self, bound: &BoundQuery) -> Result<SqlResult> {
-        let opt = optimize(&bound.query, &self.catalog, self.model, &self.config)?;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.run_bound_once(bound) {
+                Ok(mut result) => {
+                    result.retries = attempt;
+                    return Ok(result);
+                }
+                Err(e) if e.is_retryable() && attempt < self.max_retries => {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn run_bound_once(&self, bound: &BoundQuery) -> Result<SqlResult> {
+        let gov = ResourceGovernor::new(self.limits);
+        let opt = optimize_governed(&bound.query, &self.catalog, self.model, &self.config, &gov)?;
         let engine = Engine::new(&self.catalog, &bound.query.env, self.model);
-        let rs = engine.execute(&opt.plan)?;
+        let rs = engine.execute_governed(&opt.plan, &gov, self.faults.as_deref())?;
         // Reorder executed rows to the query's declared projection.
         let positions: Vec<usize> = bound
             .query
@@ -161,6 +203,8 @@ impl Session {
             io_pages: rs.io_pages,
             estimated_cost: opt.props.cost,
             plan: opt.plan.explain(),
+            outcome: opt.outcome,
+            retries: 0,
         })
     }
 }
@@ -315,6 +359,64 @@ mod tests {
             .unwrap_err();
         assert!(err.message().contains("no SELECT"));
         assert_eq!(s.view_count(), 1);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_bounded_times() {
+        use aggview_common::ScheduledFaults;
+        let mut s = session();
+        // First attempt fails at its first consulted site; the retry
+        // (fresh governor, same injector call counter) succeeds.
+        s.set_fault_injector(Some(Box::new(ScheduledFaults::failing_calls([0]))));
+        let r = s.execute("select eno from emp").unwrap();
+        assert_eq!(r.retries, 1);
+        assert!(!r.rows.is_empty());
+
+        // More consecutive failures than max_retries allows: the error
+        // surfaces, structured and retryable, with no panic.
+        s.max_retries = 1;
+        s.set_fault_injector(Some(Box::new(ScheduledFaults::failing_calls(0..100))));
+        let err = s.execute("select eno from emp").unwrap_err();
+        assert_eq!(err.kind(), "transient");
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn tiny_search_budget_degrades_to_traditional_plan() {
+        let mut s = session();
+        let full = s
+            .execute(
+                "create view A1(dno, Asal) as \
+                   select e2.dno, avg(e2.sal) from emp e2 group by e2.dno; \
+                 select e1.sal from emp e1, A1 b \
+                  where e1.dno = b.dno and e1.age < 22 and e1.sal > b.Asal;",
+            )
+            .unwrap();
+        assert!(!full.outcome.is_degraded());
+
+        s.limits = ResourceLimits::unlimited().with_max_plans(1);
+        let degraded = s
+            .execute(
+                "select e1.sal from emp e1, A1 b \
+                  where e1.dno = b.dno and e1.age < 22 and e1.sal > b.Asal;",
+            )
+            .unwrap();
+        assert!(degraded.outcome.is_degraded());
+        // Graceful degradation is not wrong results: same rows.
+        let mut a: Vec<String> = full.rows.iter().map(|r| r.to_string()).collect();
+        let mut b: Vec<String> = degraded.rows.iter().map(|r| r.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn row_budget_aborts_execution_with_structured_error() {
+        let mut s = session();
+        s.limits = ResourceLimits::unlimited().with_max_rows(3);
+        let err = s.execute("select eno from emp").unwrap_err();
+        assert_eq!(err.kind(), "resource-exhausted");
+        assert!(!err.is_retryable(), "budget errors must not retry");
     }
 }
 

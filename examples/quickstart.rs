@@ -11,8 +11,11 @@ use aggview::core::cost::ops::IoParams;
 use aggview::core::{optimize, CostModel, OptimizerConfig};
 use aggview::sql::Session;
 use aggview::storage::datagen::{gen_empdept, EmpDeptConfig};
+use std::error::Error;
 
-fn main() {
+// AggViewError implements std::error::Error, so `?` composes with any
+// other error type behind Box<dyn Error>.
+fn main() -> Result<(), Box<dyn Error>> {
     // 1. A synthetic Emp/Dept database: 8000 departments × 2 employees,
     //    0.2% of employees under 22 (the paper's selective predicate) —
     //    the "many departments, few young employees" regime where the
@@ -23,12 +26,11 @@ fn main() {
         young_fraction: 0.002,
         low_budget_fraction: 0.3,
         seed: 42,
-    })
-    .expect("generate catalog");
+    })?;
     println!(
         "catalog: emp = {} rows, dept = {} rows\n",
-        catalog.get("emp").unwrap().len(),
-        catalog.get("dept").unwrap().len()
+        catalog.get("emp")?.len(),
+        catalog.get("dept")?.len()
     );
 
     // 2. The paper's Example 1, verbatim: employees below 22 earning
@@ -49,8 +51,7 @@ fn main() {
                select e2.dno, avg(e2.sal) from emp e2 group by e2.dno; \
              select e1.sal from emp e1, A1 b \
               where e1.dno = b.dno and e1.age < 22 and e1.sal > b.Asal;",
-        )
-        .expect("run Example 1");
+        )?;
 
     println!("chosen plan (cost-based, pull-up & push-down enabled):");
     println!("{}", result.plan);
@@ -73,15 +74,13 @@ fn main() {
         .plan(
             "select e1.sal from emp e1, A1 b \
               where e1.dno = b.dno and e1.age < 22 and e1.sal > b.Asal",
-        )
-        .expect("plan");
+        )?;
     let trad = optimize(
         &bound.query,
         session.catalog(),
         model,
         &OptimizerConfig::traditional(),
-    )
-    .expect("traditional plan");
+    )?;
     println!(
         "estimated cost — full optimizer: {:.1} pages, traditional: {:.1} pages ({}×)",
         full.props.cost,
@@ -93,4 +92,5 @@ fn main() {
     } else {
         println!("the chosen plan keeps the view boundary (pull-up not beneficial here)");
     }
+    Ok(())
 }

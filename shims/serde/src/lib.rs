@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize)]` as an annotation on a
+//! few statistics structs; nothing actually serializes through serde
+//! yet. This shim provides the trait names plus a no-op derive macro so
+//! those annotations compile without registry access. When real
+//! serialization lands, replace this with the genuine crate.
+
+/// Marker matching `serde::Serialize`'s name; the vendored derive emits
+/// no impl, so nothing can (yet) require this bound at runtime.
+pub trait Serialize {}
+
+/// Marker matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;

@@ -13,14 +13,17 @@
 //!
 //! Dot-commands: `.help`, `.tables`, `.gen empdept [depts emps_per_dept]`,
 //! `.gen star [customers]`, `.mem <pages>`, `.mode <traditional|pushdown|full>`,
-//! `.explain <sql>`, `.quit`. Everything else is SQL (`;`-terminated,
-//! may span lines).
+//! `.set <key> <value>` (resource governance: `timeout_ms`, `max_rows`,
+//! `max_bytes`, `max_plans`, `max_memo`, `retries`; `off` clears a limit),
+//! `.limits`, `.explain <sql>`, `.quit`. Everything else is SQL
+//! (`;`-terminated, may span lines).
 
 use aggview::core::cost::ops::IoParams;
 use aggview::core::{CostModel, OptimizerConfig};
 use aggview::sql::Session;
 use aggview::storage::datagen::{gen_empdept, gen_star, EmpDeptConfig, StarConfig};
 use std::io::{self, BufRead, Write};
+use std::time::Duration;
 
 fn main() {
     let mut session =
@@ -75,6 +78,15 @@ fn run_sql(sql: &str, session: &mut Session) {
                 result.io_pages,
                 result.estimated_cost
             );
+            if result.outcome.is_degraded() {
+                println!("note: {}", result.outcome);
+            }
+            if result.retries > 0 {
+                println!(
+                    "note: recovered from {} transient failure(s) by retrying",
+                    result.retries
+                );
+            }
         }
         Err(e) => println!("{e}"),
     }
@@ -92,6 +104,9 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
                  .gen star [customers]        load a TPC-D-like star catalog\n\
                  .mem <pages>                 set the operator memory budget\n\
                  .mode <traditional|pushdown|full>  optimizer configuration\n\
+                 .set <key> <value|off>       resource limits: timeout_ms, max_rows,\n\
+                 \u{20}                            max_bytes, max_plans, max_memo, retries\n\
+                 .limits                      show current resource limits\n\
                  .explain <sql>               show the chosen plan without running\n\
                  .quit                        leave"
             );
@@ -167,6 +182,30 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
                 _ => println!("usage: .gen empdept [depts emps] | .gen star [customers]"),
             }
         }
+        ".set" => {
+            let args: Vec<&str> = parts
+                .get(1)
+                .map(|s| s.split_whitespace().collect())
+                .unwrap_or_default();
+            match (args.first().copied(), args.get(1).copied()) {
+                (Some(key), Some(val)) => set_limit(session, key, val),
+                _ => println!("usage: .set <key> <value|off> — try .limits for keys"),
+            }
+        }
+        ".limits" => {
+            let l = &session.limits;
+            let show = |v: Option<u64>| v.map_or("off".to_string(), |n| n.to_string());
+            println!(
+                "timeout_ms {}  max_rows {}  max_bytes {}  max_plans {}  max_memo {}  retries {}",
+                l.timeout
+                    .map_or("off".to_string(), |t| t.as_millis().to_string()),
+                show(l.max_rows),
+                show(l.max_bytes),
+                show(l.max_plans),
+                show(l.max_memo_entries),
+                session.max_retries
+            );
+        }
         ".explain" => match parts.get(1) {
             Some(sql) => match session.plan(sql) {
                 Ok((_, opt)) => {
@@ -185,9 +224,42 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
     true
 }
 
+fn set_limit(session: &mut Session, key: &str, val: &str) {
+    let parsed: Option<u64> = if val.eq_ignore_ascii_case("off") {
+        None
+    } else {
+        match val.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                println!("`{val}` is not a number (or `off`)");
+                return;
+            }
+        }
+    };
+    let l = &mut session.limits;
+    match key {
+        "timeout_ms" => l.timeout = parsed.map(Duration::from_millis),
+        "max_rows" => l.max_rows = parsed,
+        "max_bytes" => l.max_bytes = parsed,
+        "max_plans" => l.max_plans = parsed,
+        "max_memo" => l.max_memo_entries = parsed,
+        "retries" => match parsed {
+            Some(n) => session.max_retries = n as u32,
+            None => session.max_retries = 0,
+        },
+        other => {
+            println!("unknown limit `{other}` — keys: timeout_ms max_rows max_bytes max_plans max_memo retries");
+            return;
+        }
+    }
+    println!("{key} = {}", parsed.map_or("off".to_string(), |n| n.to_string()));
+}
+
 fn with_settings(old: &Session, catalog: aggview::storage::Catalog) -> Session {
     let mut s = Session::new(catalog);
     s.model = old.model;
     s.config = old.config;
+    s.limits = old.limits;
+    s.max_retries = old.max_retries;
     s
 }

@@ -1,0 +1,187 @@
+//! Integration tests for the resource-governance subsystem: graceful
+//! degradation to the traditional plan under search budgets, prompt
+//! aborts under cancellation and row budgets, and a property test that
+//! injected storage/executor faults always surface as structured,
+//! retryable errors — never as panics or silent partial results.
+
+use aggview::common::ScheduledFaults;
+use aggview::core::query::examples::{example1_query, example2_query};
+use aggview::core::{
+    optimize, optimize_governed, optimize_traditional, CancellationToken, CostModel,
+    DegradationReason, OptimizerConfig, ResourceGovernor, ResourceLimits,
+};
+use aggview::executor::{assert_equivalent, Engine};
+use aggview::storage::datagen::{gen_empdept, EmpDeptConfig};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn catalog() -> aggview::storage::Catalog {
+    gen_empdept(&EmpDeptConfig {
+        n_depts: 10,
+        emps_per_dept: 12,
+        young_fraction: 0.3,
+        low_budget_fraction: 0.5,
+        seed: 7,
+    })
+    .unwrap()
+}
+
+#[test]
+fn tiny_search_budget_degrades_to_the_traditional_plan() {
+    let catalog = catalog();
+    let q = example1_query();
+    let model = CostModel::default();
+
+    let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_plans(1));
+    let opt = optimize_governed(&q, &catalog, model, &OptimizerConfig::default(), &gov).unwrap();
+    assert!(opt.outcome.is_degraded(), "expected degraded outcome");
+    assert_eq!(
+        opt.outcome.degradation_reason(),
+        Some(DegradationReason::SearchBudgetExhausted)
+    );
+
+    // The fallback is exactly the traditional two-phase plan: same
+    // estimated cost, same results.
+    let trad = optimize_traditional(&q, &catalog, model).unwrap();
+    assert!(
+        (opt.props.cost - trad.props.cost).abs() < 1e-9,
+        "degraded cost {} != traditional cost {}",
+        opt.props.cost,
+        trad.props.cost
+    );
+    let engine = Engine::new(&catalog, &q.env, model);
+    let degraded = engine.execute(&opt.plan).unwrap();
+    let reference = engine.execute(&trad.plan).unwrap();
+    assert_equivalent(&reference, &degraded).unwrap();
+}
+
+#[test]
+fn zero_timeout_degrades_with_timeout_reason() {
+    let catalog = catalog();
+    let q = example2_query();
+    let model = CostModel::default();
+
+    let gov =
+        ResourceGovernor::new(ResourceLimits::unlimited().with_timeout(Duration::from_nanos(0)));
+    let opt = optimize_governed(&q, &catalog, model, &OptimizerConfig::default(), &gov).unwrap();
+    assert_eq!(
+        opt.outcome.degradation_reason(),
+        Some(DegradationReason::OptimizerTimeout)
+    );
+    // The degraded plan still executes (the fallback governor keeps the
+    // token but drops the exhausted limits).
+    let engine = Engine::new(&catalog, &q.env, model);
+    engine.execute(&opt.plan).unwrap();
+}
+
+#[test]
+fn cancellation_propagates_and_never_degrades() {
+    let catalog = catalog();
+    let q = example1_query();
+    let model = CostModel::default();
+    let cfg = OptimizerConfig::default();
+
+    let token = CancellationToken::new();
+    token.cancel();
+    let gov = ResourceGovernor::with_token(token.clone(), ResourceLimits::unlimited());
+
+    // Cancellation is a user decision, not resource pressure: the
+    // optimizer must not fall back to the traditional plan.
+    let err = optimize_governed(&q, &catalog, model, &cfg, &gov).unwrap_err();
+    assert_eq!(err.kind(), "cancelled");
+    assert!(!err.is_retryable());
+
+    // The executor honours the same token at operator boundaries.
+    let opt = optimize(&q, &catalog, model, &cfg).unwrap();
+    let engine = Engine::new(&catalog, &q.env, model);
+    let err = engine
+        .execute_governed(&opt.plan, &gov, None)
+        .unwrap_err();
+    assert_eq!(err.kind(), "cancelled");
+}
+
+#[test]
+fn row_budget_aborts_within_one_operator_boundary() {
+    let catalog = catalog();
+    let q = example1_query();
+    let model = CostModel::default();
+
+    let opt = optimize(&q, &catalog, model, &OptimizerConfig::default()).unwrap();
+    let engine = Engine::new(&catalog, &q.env, model);
+
+    let cap = 5u64;
+    let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_rows(cap));
+    let err = engine
+        .execute_governed(&opt.plan, &gov, None)
+        .unwrap_err();
+    assert_eq!(err.kind(), "resource-exhausted");
+    assert!(!err.is_retryable());
+    // Every intermediate tuple is charged as it is produced, so the
+    // abort lands on the first tuple past the cap — not after a whole
+    // operator has materialized its output.
+    assert!(
+        gov.rows_used() <= cap + 1,
+        "abort was not prompt: {} rows charged against a cap of {cap}",
+        gov.rows_used()
+    );
+}
+
+#[test]
+fn byte_budget_aborts_with_structured_error() {
+    let catalog = catalog();
+    let q = example2_query();
+    let model = CostModel::default();
+
+    let opt = optimize(&q, &catalog, model, &OptimizerConfig::default()).unwrap();
+    let engine = Engine::new(&catalog, &q.env, model);
+
+    let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_bytes(64));
+    let err = engine
+        .execute_governed(&opt.plan, &gov, None)
+        .unwrap_err();
+    assert_eq!(err.kind(), "resource-exhausted");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under any schedule of injected faults, every plan either runs to
+    /// completion with the correct result or returns a structured,
+    /// retryable error. No panics, no silent partial results.
+    #[test]
+    fn injected_faults_complete_or_fail_cleanly(
+        n_depts in 2usize..20,
+        emps_per_dept in 1usize..15,
+        seed in 0u64..1_000,
+        schedule in prop::collection::vec(0u64..40, 0..5),
+        which in 0usize..2,
+    ) {
+        let catalog = gen_empdept(&EmpDeptConfig {
+            n_depts,
+            emps_per_dept,
+            young_fraction: 0.3,
+            low_budget_fraction: 0.4,
+            seed,
+        })
+        .unwrap();
+        let q = if which == 0 { example1_query() } else { example2_query() };
+        let model = CostModel::default();
+        let opt = optimize(&q, &catalog, model, &OptimizerConfig::default()).unwrap();
+        let engine = Engine::new(&catalog, &q.env, model);
+        let reference = engine.execute(&opt.plan).unwrap();
+
+        let faults = ScheduledFaults::failing_calls(schedule.iter().copied());
+        let gov = ResourceGovernor::unlimited();
+        match engine.execute_governed(&opt.plan, &gov, Some(&faults)) {
+            // No scheduled call was reached: the run must be complete
+            // and correct, not silently truncated.
+            Ok(rs) => prop_assert!(assert_equivalent(&reference, &rs).is_ok()),
+            Err(e) => {
+                prop_assert_eq!(e.kind(), "transient");
+                prop_assert!(e.is_retryable());
+                prop_assert!(e.to_string().contains("injected fault"),
+                    "unexpected error text: {}", e);
+            }
+        }
+    }
+}
