@@ -1,0 +1,73 @@
+//! `bench` — the executor throughput/scaling benchmark binary.
+//!
+//! ```text
+//! $ cargo run --release -p aggview-bench --bin bench -- \
+//!       --threads 4 --scale 1 --repeats 3 --out BENCH_exec.json
+//! ```
+//!
+//! Runs the E1/E3/E8 workloads plus the operator micro-suite at
+//! `threads = {1, N}`, prints a summary table, and writes the machine
+//! -readable report to `--out` (default `BENCH_exec.json`).
+
+use aggview_bench::exec_bench::{run_exec_bench, ExecBenchConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg = ExecBenchConfig::default();
+    let mut out = String::from("BENCH_exec.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        match (flag, value) {
+            ("--threads", Some(v)) => match v.parse::<usize>() {
+                Ok(n) if n >= 2 => cfg.threads = n,
+                _ => return usage(&format!("--threads wants an integer >= 2, got `{v}`")),
+            },
+            ("--scale", Some(v)) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.scale = n,
+                _ => return usage(&format!("--scale wants an integer >= 1, got `{v}`")),
+            },
+            ("--repeats", Some(v)) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.repeats = n,
+                _ => return usage(&format!("--repeats wants an integer >= 1, got `{v}`")),
+            },
+            ("--out", Some(v)) => out = v.clone(),
+            ("--help" | "-h", _) => return usage(""),
+            _ => return usage(&format!("unknown argument `{flag}`")),
+        }
+        i += 2;
+    }
+
+    let report = match run_exec_bench(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.summary_table());
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: bench [--threads N>=2] [--scale N>=1] [--repeats N>=1] [--out PATH]\n\
+         runs the executor workloads at threads = {{1, N}} and writes a JSON report"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

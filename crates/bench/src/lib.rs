@@ -6,6 +6,8 @@
 //! chosen plans with measured IO, prints the table/series, and asserts
 //! the expected *shape* (who wins, where the crossover falls).
 
+pub mod exec_bench;
+
 use aggview_core::cost::ops::IoParams;
 use aggview_core::cost::CostModel;
 use aggview_core::optimizer::multi_view::{optimize, Optimized};

@@ -236,22 +236,26 @@ impl PartialAggState {
     }
 
     /// Coalesce raw state components (as read out of a tuple).
-    pub fn merge_components(&mut self, other: &[Value]) -> Result<()> {
+    ///
+    /// Generic over owned (`&[Value]`) and borrowed (`&[&Value]`)
+    /// component slices so hot executor loops can pass references to
+    /// values still sitting inside an input tuple.
+    pub fn merge_components<V: std::borrow::Borrow<Value>>(&mut self, other: &[V]) -> Result<()> {
+        let first = other.first().map(std::borrow::Borrow::borrow);
         match self.func {
             AggFunc::Count => {
                 let a = state_i64(&self.state[0], "COUNT")?;
-                let b = other
-                    .first()
+                let b = first
                     .and_then(Value::as_i64)
                     .ok_or_else(|| AggViewError::Exec("bad COUNT partial state".into()))?;
                 self.state[0] = Value::Int(checked_count(a, b, "COUNT")?);
             }
-            AggFunc::Sum => match (self.state.first().cloned(), other.first()) {
+            AggFunc::Sum => match (self.state.first().cloned(), first) {
                 (_, None) => {}
                 (None, Some(v)) => self.state.push(v.clone()),
                 (Some(cur), Some(v)) => self.state[0] = add_numeric(&cur, v)?,
             },
-            AggFunc::Min => match (self.state.first().cloned(), other.first()) {
+            AggFunc::Min => match (self.state.first().cloned(), first) {
                 (_, None) => {}
                 (None, Some(v)) => self.state.push(v.clone()),
                 (Some(cur), Some(v)) => {
@@ -260,7 +264,7 @@ impl PartialAggState {
                     }
                 }
             },
-            AggFunc::Max => match (self.state.first().cloned(), other.first()) {
+            AggFunc::Max => match (self.state.first().cloned(), first) {
                 (_, None) => {}
                 (None, Some(v)) => self.state.push(v.clone()),
                 (Some(cur), Some(v)) => {
@@ -273,10 +277,10 @@ impl PartialAggState {
                 if other.len() != 2 {
                     return Err(AggViewError::Exec("bad AVG partial state".into()));
                 }
-                let s = state_f64(&self.state[0], "AVG sum")? + partial_f64(&other[0])?;
+                let s = state_f64(&self.state[0], "AVG sum")? + partial_f64(other[0].borrow())?;
                 let n = checked_count(
                     state_i64(&self.state[1], "AVG count")?,
-                    partial_i64(&other[1])?,
+                    partial_i64(other[1].borrow())?,
                     "AVG count",
                 )?;
                 self.state[0] = Value::Float(s);
@@ -286,11 +290,12 @@ impl PartialAggState {
                 if other.len() != 3 {
                     return Err(AggViewError::Exec("bad STDDEV partial state".into()));
                 }
-                let s = state_f64(&self.state[0], "STDDEV sum")? + partial_f64(&other[0])?;
-                let q = state_f64(&self.state[1], "STDDEV sumsq")? + partial_f64(&other[1])?;
+                let s = state_f64(&self.state[0], "STDDEV sum")? + partial_f64(other[0].borrow())?;
+                let q =
+                    state_f64(&self.state[1], "STDDEV sumsq")? + partial_f64(other[1].borrow())?;
                 let n = checked_count(
                     state_i64(&self.state[2], "STDDEV count")?,
-                    partial_i64(&other[2])?,
+                    partial_i64(other[2].borrow())?,
                     "STDDEV count",
                 )?;
                 self.state[0] = Value::Float(s);

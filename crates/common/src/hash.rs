@@ -1,0 +1,165 @@
+//! Allocation-free key hashing for hash joins and hash aggregation.
+//!
+//! The executor's hash operators used to materialize a `Vec<Value>` key
+//! per input row and use it as a `HashMap` key — one heap allocation
+//! plus one `Value` clone per key column *per row*. The helpers here
+//! hash key columns **in place** (through [`Value`]'s `Hash` impl, so
+//! `Int(3)` and `Float(3.0)` still collide as they must) and compare
+//! candidate rows positionally, so the hot probe/accumulate loops touch
+//! no allocator at all. Collisions are resolved by comparing the actual
+//! key values, never trusting the 64-bit hash alone.
+//!
+//! The hasher is a fixed-key SipHash-1-3-style mix via
+//! [`std::collections::hash_map::DefaultHasher`] seeded identically on
+//! every thread, so **the same key hashes to the same bucket on every
+//! worker** — the property partitioned parallel operators rely on to
+//! route build and probe rows of one key to the same partition.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::hash::{Hash, Hasher};
+
+/// Hash the projection `key_pos` of `row` without cloning any values.
+///
+/// Equal keys (under [`Value`]'s cross-numeric equality) hash equally,
+/// on any thread.
+pub fn hash_key(row: &Tuple, key_pos: &[usize]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for &i in key_pos {
+        row.get(i).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Hash a contiguous prefix-less slice of values (an already-projected
+/// key tuple).
+pub fn hash_values(values: &[Value]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Positional key equality: `a[a_pos[i]] == b[b_pos[i]]` for all `i`.
+///
+/// Used to confirm hash matches; `a_pos` and `b_pos` must have equal
+/// length (the operator builds both from the same equi-key list).
+pub fn keys_equal(a: &Tuple, a_pos: &[usize], b: &Tuple, b_pos: &[usize]) -> bool {
+    debug_assert_eq!(a_pos.len(), b_pos.len());
+    a_pos
+        .iter()
+        .zip(b_pos)
+        .all(|(&i, &j)| a.get(i) == b.get(j))
+}
+
+/// Key equality between an already-projected key tuple (`key[i]`) and
+/// the projection `pos` of `row`.
+pub fn key_matches_row(key: &Tuple, row: &Tuple, pos: &[usize]) -> bool {
+    debug_assert_eq!(key.arity(), pos.len());
+    key.values()
+        .iter()
+        .zip(pos)
+        .all(|(k, &i)| k == row.get(i))
+}
+
+/// A map keyed by an already-computed 64-bit key hash.
+///
+/// The key *is* a SipHash output, so running it through the map's own
+/// SipHash again on every insert and lookup would only burn cycles.
+/// [`Prehashed`] passes the key straight through as the bucket hash.
+pub type PrehashedMap<V> = std::collections::HashMap<u64, V, BuildPrehashed>;
+
+/// `BuildHasher` for [`PrehashedMap`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BuildPrehashed;
+
+impl std::hash::BuildHasher for BuildPrehashed {
+    type Hasher = Prehashed;
+    fn build_hasher(&self) -> Prehashed {
+        Prehashed(0)
+    }
+}
+
+/// Identity hasher over a single `u64` write (see [`PrehashedMap`]).
+#[derive(Debug, Default)]
+pub struct Prehashed(u64);
+
+impl Hasher for Prehashed {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are expected; fold anything else in cheaply so
+        // the hasher stays total.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn equal_keys_hash_equally_without_cloning() {
+        let a = tuple![1i64, "x", 3.5f64];
+        let b = tuple!["pad", 1i64, 3.5f64, "x"];
+        // a[0,1,2] vs b[1,3,2] project the same key.
+        assert_eq!(hash_key(&a, &[0, 1, 2]), hash_key(&b, &[1, 3, 2]));
+        assert!(keys_equal(&a, &[0, 1, 2], &b, &[1, 3, 2]));
+    }
+
+    #[test]
+    fn cross_numeric_keys_collide_as_required() {
+        let a = tuple![3i64];
+        let b = tuple![3.0f64];
+        assert_eq!(hash_key(&a, &[0]), hash_key(&b, &[0]));
+        assert!(keys_equal(&a, &[0], &b, &[0]));
+    }
+
+    #[test]
+    fn different_keys_compare_unequal() {
+        let a = tuple![1i64, 2i64];
+        let b = tuple![1i64, 3i64];
+        assert!(!keys_equal(&a, &[0, 1], &b, &[0, 1]));
+    }
+
+    #[test]
+    fn hash_values_matches_hash_key_of_projection() {
+        let row = tuple![7i64, "k", true];
+        let key = row.project(&[2, 0]);
+        assert_eq!(hash_values(key.values()), hash_key(&row, &[2, 0]));
+        assert!(key_matches_row(&key, &row, &[2, 0]));
+        assert!(!key_matches_row(&key, &row, &[2, 1]));
+    }
+
+    #[test]
+    fn prehashed_map_roundtrips_u64_keys() {
+        let mut m: PrehashedMap<i32> = PrehashedMap::default();
+        for k in [0u64, 1, u64::MAX, 0xdead_beef] {
+            m.insert(k, (k % 97) as i32);
+        }
+        for k in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert_eq!(m[&k], (k % 97) as i32);
+        }
+        assert!(!m.contains_key(&2));
+    }
+
+    #[test]
+    fn empty_key_is_consistent() {
+        // Degenerate grouping (global aggregate routed through the same
+        // code path): every row has the same empty key.
+        let a = tuple![1i64];
+        let b = tuple!["z"];
+        assert_eq!(hash_key(&a, &[]), hash_key(&b, &[]));
+        assert!(keys_equal(&a, &[], &b, &[]));
+    }
+}

@@ -14,12 +14,16 @@
 //! * [`AggFunc`] / [`AggSpec`] — aggregate functions, including the
 //!   decomposability machinery needed by the *simple coalescing grouping*
 //!   transformation (partial/combine/finalize states),
+//! * [`hash`] — allocation-free, thread-consistent key hashing used by
+//!   the executor's hash join, hash aggregation, and the partitioned
+//!   parallel operators built on them,
 //! * [`AggViewError`] — the workspace-wide error type.
 
 pub mod agg;
 pub mod error;
 pub mod expr;
 pub mod fault;
+pub mod hash;
 pub mod ids;
 pub mod predicate;
 pub mod schema;
@@ -30,6 +34,7 @@ pub use agg::{AggAccumulator, AggFunc, AggSpec, PartialAggState};
 pub use error::{AggViewError, Result};
 pub use expr::{BinaryOp, Expr};
 pub use fault::{FaultInjector, NoFaults, ScheduledFaults, SeededFaultInjector};
+pub use hash::{hash_key, hash_values, key_matches_row, keys_equal, PrehashedMap};
 pub use ids::{AggRef, Col, ColRef, PartRef, RelId, ViewId};
 pub use predicate::{CmpOp, Predicate};
 pub use schema::{Field, Schema};

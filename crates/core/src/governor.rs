@@ -267,6 +267,18 @@ impl ResourceGovernor {
             .map_err(AggViewError::ResourceExhausted)
     }
 
+    /// Charge one batch of materialized output (`rows` tuples totalling
+    /// `bytes`) against both budgets in one call. Parallel workers share
+    /// the governor by reference: the counters are plain atomics, so
+    /// concurrent charges from any number of threads stay exact, and the
+    /// first charge that crosses a cap fails — every worker observes its
+    /// own overrun within one further charge, bounding overshoot at one
+    /// batch per worker.
+    pub fn charge_output(&self, rows: u64, bytes: u64) -> Result<()> {
+        self.charge_rows(rows)?;
+        self.charge_bytes(bytes)
+    }
+
     /// Charge `n` costed plans against the optimizer search budget.
     pub fn charge_plans(&self, n: u64) -> Result<()> {
         Self::charge(&self.plans, self.limits.max_plans, n, "optimizer plan")

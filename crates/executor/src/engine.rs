@@ -6,8 +6,10 @@
 //! computed from the **actual** sizes of its inputs and outputs via the
 //! shared formulas in [`aggview_core::cost::ops`].
 
+use crate::parallel::{self, ExecOptions, JoinEmit};
+use crate::partition::AggInput;
 use aggview_common::fault::{maybe_fault, FaultInjector};
-use aggview_common::{AggViewError, Col, PartialAggState, Predicate, RelId, Result, Tuple, Value};
+use aggview_common::{AggFunc, AggViewError, Col, Predicate, RelId, Result, Tuple};
 use aggview_core::cost::ops::{self, JoinSides};
 use aggview_core::cost::CostModel;
 use aggview_core::governor::ResourceGovernor;
@@ -36,6 +38,9 @@ pub struct ResultSet {
     pub io_pages: f64,
     /// Per-operator breakdown, in post-order.
     pub breakdown: Vec<IoBreakdown>,
+    /// Largest materialized operator output, in bytes — the memory
+    /// high-water mark the paper's transformations try to shrink.
+    pub peak_intermediate_bytes: u64,
 }
 
 impl ResultSet {
@@ -51,6 +56,8 @@ pub struct Engine<'a> {
     pub catalog: &'a Catalog,
     pub env: &'a QueryEnv,
     pub model: CostModel,
+    /// Parallelism and morsel tuning for data-parallel operators.
+    pub options: ExecOptions,
 }
 
 /// Per-execution state threaded through the operator tree: the IO
@@ -60,6 +67,8 @@ struct ExecCtx<'e> {
     breakdown: Vec<IoBreakdown>,
     gov: &'e ResourceGovernor,
     faults: Option<&'e dyn FaultInjector>,
+    options: ExecOptions,
+    peak_bytes: u64,
 }
 
 impl ExecCtx<'_> {
@@ -71,6 +80,12 @@ impl ExecCtx<'_> {
         self.gov.charge_rows(1)?;
         self.gov.charge_bytes(t.width() as u64)
     }
+
+    /// Record one operator's materialized output size for the peak
+    /// intermediate high-water mark.
+    fn note_op_output(&mut self, bytes: u64) {
+        self.peak_bytes = self.peak_bytes.max(bytes);
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -79,7 +94,14 @@ impl<'a> Engine<'a> {
             catalog,
             env,
             model,
+            options: ExecOptions::default(),
         }
+    }
+
+    /// Replace the executor options (thread count, morsel size).
+    pub fn with_options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Execute a plan, returning rows and measured IO.
@@ -109,6 +131,8 @@ impl<'a> Engine<'a> {
             breakdown: Vec::new(),
             gov,
             faults,
+            options: self.options,
+            peak_bytes: 0,
         };
         let (cols, rows) = self.exec(plan, &mut ctx)?;
         let io_pages = ctx.breakdown.iter().map(|b| b.pages).sum();
@@ -117,6 +141,7 @@ impl<'a> Engine<'a> {
             rows,
             io_pages,
             breakdown: ctx.breakdown,
+            peak_intermediate_bytes: ctx.peak_bytes,
         })
     }
 
@@ -183,17 +208,9 @@ impl<'a> Engine<'a> {
                 })
             })
             .collect::<Result<_>>()?;
-        let mut rows = Vec::new();
-        'row: for row in t.rows() {
-            for b in &bound {
-                if !b.eval(row)? {
-                    continue 'row;
-                }
-            }
-            let out = row.project(&positions);
-            ctx.charge_tuple(&out)?;
-            rows.push(out);
-        }
+        let (rows, out_bytes) =
+            parallel::filter_project(&ctx.options, ctx.gov, t.rows(), &bound, &positions)?;
+        ctx.note_op_output(out_bytes);
         Ok((project.to_vec(), rows))
     }
 
@@ -240,9 +257,10 @@ impl<'a> Engine<'a> {
         let llayout = layout_map(&lcols);
         let rlayout = layout_map(&rcols);
 
-        // Split predicates: hashable equalities vs residual.
+        // Split predicates once, by reference: hashable equalities become
+        // positional key pairs, everything else stays residual.
         let mut eq_keys: Vec<(usize, usize)> = Vec::new(); // (left pos, right pos)
-        let mut residual: Vec<Predicate> = Vec::new();
+        let mut residual: Vec<&Predicate> = Vec::new();
         for p in preds {
             match p.as_col_eq_col() {
                 Some((a, b)) => {
@@ -258,9 +276,9 @@ impl<'a> Engine<'a> {
                             }
                         }
                     }
-                    residual.push(p.clone());
+                    residual.push(p);
                 }
-                None => residual.push(p.clone()),
+                None => residual.push(p),
             }
         }
         let bound_residual: Vec<_> = residual
@@ -276,61 +294,44 @@ impl<'a> Engine<'a> {
             })
             .collect::<Result<_>>()?;
 
-        let mut out = Vec::new();
-        if eq_keys.is_empty() {
-            // Nested loops.
-            for l in &lrows {
-                ctx.gov.check_interrupt()?;
-                for r in &rrows {
-                    let combined = l.concat(r);
-                    if eval_all(&bound_residual, &combined)? {
-                        let t = combined.project(&positions);
-                        ctx.charge_tuple(&t)?;
-                        out.push(t);
-                    }
-                }
-            }
+        let (out, out_bytes) = if eq_keys.is_empty() {
+            parallel::nested_loop_join(
+                &ctx.options,
+                ctx.gov,
+                &lrows,
+                &rrows,
+                &bound_residual,
+                &positions,
+            )?
         } else {
-            // Hash join: build on the smaller input.
+            // Hash join: build on the smaller input, probe the larger.
             let build_left = lrows.len() <= rrows.len();
             let (build, probe) = if build_left {
                 (&lrows, &rrows)
             } else {
                 (&rrows, &lrows)
             };
-            let build_key = |t: &Tuple| -> Vec<Value> {
-                eq_keys
-                    .iter()
-                    .map(|&(lk, rk)| t.get(if build_left { lk } else { rk }).clone())
-                    .collect()
+            let (build_pos, probe_pos): (Vec<usize>, Vec<usize>) = if build_left {
+                eq_keys.iter().copied().unzip()
+            } else {
+                eq_keys.iter().map(|&(l, r)| (r, l)).unzip()
             };
-            let probe_key = |t: &Tuple| -> Vec<Value> {
-                eq_keys
-                    .iter()
-                    .map(|&(lk, rk)| t.get(if build_left { rk } else { lk }).clone())
-                    .collect()
-            };
-            let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
-            for (i, t) in build.iter().enumerate() {
-                map.entry(build_key(t)).or_default().push(i);
-            }
-            for p in probe.iter() {
-                if let Some(matches) = map.get(&probe_key(p)) {
-                    for &bi in matches {
-                        let combined = if build_left {
-                            build[bi].concat(p)
-                        } else {
-                            p.concat(&build[bi])
-                        };
-                        if eval_all(&bound_residual, &combined)? {
-                            let t = combined.project(&positions);
-                            ctx.charge_tuple(&t)?;
-                            out.push(t);
-                        }
-                    }
-                }
-            }
-        }
+            let index = parallel::build_index(&ctx.options, ctx.gov, build, &build_pos)?;
+            let emit = JoinEmit::new(&positions, lcols.len(), build_left);
+            parallel::probe_join(
+                &ctx.options,
+                ctx.gov,
+                build,
+                probe,
+                &index,
+                &build_pos,
+                &probe_pos,
+                &bound_residual,
+                build_left,
+                &emit,
+            )?
+        };
+        ctx.note_op_output(out_bytes);
         Ok((project.to_vec(), out))
     }
 
@@ -359,12 +360,7 @@ impl<'a> Engine<'a> {
             .collect::<Result<_>>()?;
 
         // Per-aggregate input mode: raw expression or partial components.
-        enum Mode {
-            Raw(aggview_common::expr::BoundExpr),
-            RawCountStar,
-            Partial(Vec<usize>),
-        }
-        let mut modes = Vec::with_capacity(spec.aggs.len());
+        let mut inputs = Vec::with_capacity(spec.aggs.len());
         for (i, a) in spec.aggs.iter().enumerate() {
             let aref = spec.agg_ref(i);
             let first = Col::part(aref, 0);
@@ -376,44 +372,28 @@ impl<'a> Engine<'a> {
                         })
                     })
                     .collect::<Result<_>>()?;
-                modes.push(Mode::Partial(comps));
+                inputs.push(AggInput::Partial(comps));
             } else {
                 match &a.arg {
                     Some(e) => {
-                        modes.push(Mode::Raw(e.bind(&|c| layout.get(&c).copied())?));
+                        inputs.push(AggInput::Raw(e.bind(&|c| layout.get(&c).copied())?));
                     }
-                    None => modes.push(Mode::RawCountStar),
+                    None => inputs.push(AggInput::RawCountStar),
                 }
             }
         }
 
-        // Accumulate.
-        let mut groups: HashMap<Vec<Value>, (Tuple, Vec<PartialAggState>)> = HashMap::new();
-        for row in &irows {
-            let key: Vec<Value> = key_pos.iter().map(|&i| row.get(i).clone()).collect();
-            let entry = groups.entry(key).or_insert_with(|| {
-                (
-                    row.project(&key_pos),
-                    spec.aggs
-                        .iter()
-                        .map(|a| PartialAggState::empty(a.func))
-                        .collect(),
-                )
-            });
-            for (state, mode) in entry.1.iter_mut().zip(&modes) {
-                match mode {
-                    Mode::Raw(e) => {
-                        let v = e.eval(row)?;
-                        state.update(Some(&v))?;
-                    }
-                    Mode::RawCountStar => state.update(None)?,
-                    Mode::Partial(comps) => {
-                        let vals: Vec<Value> = comps.iter().map(|&i| row.get(i).clone()).collect();
-                        state.merge_components(&vals)?;
-                    }
-                }
-            }
-        }
+        // Accumulate (two-phase when parallel: per-worker tables, then a
+        // coalescing merge).
+        let funcs: Vec<AggFunc> = spec.aggs.iter().map(|a| a.func).collect();
+        let table = parallel::accumulate_groups(
+            &ctx.options,
+            ctx.gov,
+            &irows,
+            &key_pos,
+            &inputs,
+            &funcs,
+        )?;
 
         // Finalize, apply HAVING, project.
         let mut out_cols: Vec<Col> = spec.group_cols.clone();
@@ -433,11 +413,11 @@ impl<'a> Engine<'a> {
             })
             .collect::<Result<_>>()?;
 
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(table.len());
         let mut out_bytes = 0usize;
-        for (_, (key_tuple, states)) in groups {
-            let mut values = key_tuple.into_values();
-            for s in &states {
+        for g in table.groups {
+            let mut values = g.key.into_values();
+            for s in &g.states {
                 values.push(s.finalize()?);
             }
             let full = Tuple::new(values);
@@ -448,6 +428,7 @@ impl<'a> Engine<'a> {
                 out.push(t);
             }
         }
+        ctx.note_op_output(out_bytes as u64);
 
         // Charge: group-by over the materialized input.
         let in_pages = self.pages_of(&irows);
@@ -486,39 +467,23 @@ impl<'a> Engine<'a> {
                 })
             })
             .collect::<Result<_>>()?;
-        let bound_args: Vec<Option<aggview_common::expr::BoundExpr>> = spec
+        let inputs: Vec<AggInput> = spec
             .aggs
             .iter()
-            .map(|(_, a)| {
-                a.arg
-                    .as_ref()
-                    .map(|e| e.bind(&|c| layout.get(&c).copied()))
-                    .transpose()
+            .map(|(_, a)| match &a.arg {
+                Some(e) => Ok(AggInput::Raw(e.bind(&|c| layout.get(&c).copied())?)),
+                None => Ok(AggInput::RawCountStar),
             })
             .collect::<Result<_>>()?;
-
-        let mut groups: HashMap<Vec<Value>, (Tuple, Vec<PartialAggState>)> = HashMap::new();
-        for row in &irows {
-            let key: Vec<Value> = key_pos.iter().map(|&i| row.get(i).clone()).collect();
-            let entry = groups.entry(key).or_insert_with(|| {
-                (
-                    row.project(&key_pos),
-                    spec.aggs
-                        .iter()
-                        .map(|(_, a)| PartialAggState::empty(a.func))
-                        .collect(),
-                )
-            });
-            for (state, arg) in entry.1.iter_mut().zip(&bound_args) {
-                match arg {
-                    Some(e) => {
-                        let v = e.eval(row)?;
-                        state.update(Some(&v))?;
-                    }
-                    None => state.update(None)?,
-                }
-            }
-        }
+        let funcs: Vec<AggFunc> = spec.aggs.iter().map(|(_, a)| a.func).collect();
+        let table = parallel::accumulate_groups(
+            &ctx.options,
+            ctx.gov,
+            &irows,
+            &key_pos,
+            &inputs,
+            &funcs,
+        )?;
 
         // Output layout: group cols then partial components per agg.
         let mut out_cols: Vec<Col> = spec.group_cols.clone();
@@ -532,11 +497,11 @@ impl<'a> Engine<'a> {
                 })
             })
             .collect::<Result<_>>()?;
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(table.len());
         let mut out_bytes = 0usize;
-        for (_, (key_tuple, states)) in groups {
-            let mut values = key_tuple.into_values();
-            for s in &states {
+        for g in table.groups {
+            let mut values = g.key.into_values();
+            for s in &g.states {
                 // Non-empty groups always have full component vectors.
                 values.extend(s.components().iter().cloned());
             }
@@ -546,6 +511,7 @@ impl<'a> Engine<'a> {
             out_bytes += t.width();
             out.push(t);
         }
+        ctx.note_op_output(out_bytes as u64);
 
         let in_pages = self.pages_of(&irows);
         let out_pages = self.model.page.pages_for_bytes(out_bytes as f64);
@@ -572,7 +538,10 @@ fn layout_map(cols: &[Col]) -> HashMap<Col, usize> {
     cols.iter().enumerate().map(|(i, c)| (*c, i)).collect()
 }
 
-fn eval_all(preds: &[aggview_common::predicate::BoundPredicate], t: &Tuple) -> Result<bool> {
+pub(crate) fn eval_all(
+    preds: &[aggview_common::predicate::BoundPredicate],
+    t: &Tuple,
+) -> Result<bool> {
     for p in preds {
         if !p.eval(t)? {
             return Ok(false);
@@ -584,7 +553,7 @@ fn eval_all(preds: &[aggview_common::predicate::BoundPredicate], t: &Tuple) -> R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aggview_common::{AggFunc, AggSpec, CmpOp, Expr, RelId, ViewId};
+    use aggview_common::{AggFunc, AggSpec, CmpOp, Expr, RelId, Value, ViewId};
     use aggview_core::plan::all_cols;
     use aggview_core::query::examples::{dept, emp};
     use aggview_storage::datagen::{gen_empdept, EmpDeptConfig};

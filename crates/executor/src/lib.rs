@@ -14,6 +14,13 @@
 //!   aggregate states in a group-by's input by their
 //!   [`aggview_common::PartRef`] columns and merges instead of
 //!   re-aggregating);
+//! * [`parallel`] / [`partition`] — the morsel-driven parallel path:
+//!   contiguous worker chunks over a `std::thread::scope` pool,
+//!   hash-partitioned join builds, and two-phase aggregation (per-worker
+//!   [`partition::GroupTable`]s coalesced by a global merge — the
+//!   physical form of the paper's simple coalescing grouping). Thread
+//!   count and morsel size come from [`ExecOptions`]
+//!   (`AGGVIEW_THREADS`, REPL `.set threads N`);
 //! * [`correlated`] — naive tuple-at-a-time evaluation of correlated
 //!   aggregate subqueries (Kim's type-JA shape), the baseline the
 //!   flattening pathway (experiment E7) is measured against;
@@ -22,7 +29,10 @@
 
 pub mod correlated;
 pub mod engine;
+pub mod parallel;
+pub mod partition;
 pub mod verify;
 
 pub use engine::{Engine, IoBreakdown, ResultSet};
+pub use parallel::ExecOptions;
 pub use verify::{assert_equivalent, canonical_rows};

@@ -79,6 +79,7 @@ mod tests {
             rows,
             io_pages: 0.0,
             breakdown: vec![],
+            peak_intermediate_bytes: 0,
         }
     }
 

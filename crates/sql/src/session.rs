@@ -8,7 +8,7 @@ use aggview_core::cost::CostModel;
 use aggview_core::governor::{OptimizeOutcome, ResourceGovernor, ResourceLimits};
 use aggview_core::optimizer::multi_view::{optimize_governed, Optimized};
 use aggview_core::OptimizerConfig;
-use aggview_executor::Engine;
+use aggview_executor::{Engine, ExecOptions};
 use aggview_storage::Catalog;
 
 /// The result of running a SELECT through the session.
@@ -85,6 +85,8 @@ pub struct Session {
     /// statement. Non-retryable errors — cancellation, budget
     /// exhaustion, plan/bind errors — never retry.
     pub max_retries: u32,
+    /// Executor parallelism and morsel tuning (REPL `.set threads N`).
+    pub exec: ExecOptions,
     faults: Option<Box<dyn FaultInjector>>,
 }
 
@@ -98,6 +100,7 @@ impl Session {
             config: OptimizerConfig::default(),
             limits: ResourceLimits::unlimited(),
             max_retries: 2,
+            exec: ExecOptions::default(),
             faults: None,
         }
     }
@@ -184,7 +187,8 @@ impl Session {
     fn run_bound_once(&self, bound: &BoundQuery) -> Result<SqlResult> {
         let gov = ResourceGovernor::new(self.limits);
         let opt = optimize_governed(&bound.query, &self.catalog, self.model, &self.config, &gov)?;
-        let engine = Engine::new(&self.catalog, &bound.query.env, self.model);
+        let engine = Engine::new(&self.catalog, &bound.query.env, self.model)
+            .with_options(self.exec);
         let rs = engine.execute_governed(&opt.plan, &gov, self.faults.as_deref())?;
         // Reorder executed rows to the query's declared projection.
         let positions: Vec<usize> = bound

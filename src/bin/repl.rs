@@ -14,10 +14,12 @@
 //! Dot-commands: `.help`, `.tables`, `.gen empdept [depts emps_per_dept]`,
 //! `.gen star [customers]`, `.mem <pages>`, `.mode <traditional|pushdown|full>`,
 //! `.set <key> <value>` (resource governance: `timeout_ms`, `max_rows`,
-//! `max_bytes`, `max_plans`, `max_memo`, `retries`; `off` clears a limit),
-//! `.limits`, `.explain <sql>`, `.quit`. Everything else is SQL
-//! (`;`-terminated, may span lines).
+//! `max_bytes`, `max_plans`, `max_memo`, `retries`; `off` clears a limit;
+//! plus `threads` for the parallel executor), `.limits`,
+//! `.bench [threads]` (executor scaling benchmark), `.explain <sql>`,
+//! `.quit`. Everything else is SQL (`;`-terminated, may span lines).
 
+use aggview::bench::exec_bench::{run_exec_bench, ExecBenchConfig};
 use aggview::core::cost::ops::IoParams;
 use aggview::core::{CostModel, OptimizerConfig};
 use aggview::sql::Session;
@@ -105,8 +107,10 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
                  .mem <pages>                 set the operator memory budget\n\
                  .mode <traditional|pushdown|full>  optimizer configuration\n\
                  .set <key> <value|off>       resource limits: timeout_ms, max_rows,\n\
-                 \u{20}                            max_bytes, max_plans, max_memo, retries\n\
+                 \u{20}                            max_bytes, max_plans, max_memo, retries;\n\
+                 \u{20}                            threads (parallel executor workers)\n\
                  .limits                      show current resource limits\n\
+                 .bench [threads]             executor scaling benchmark (writes BENCH_exec.json)\n\
                  .explain <sql>               show the chosen plan without running\n\
                  .quit                        leave"
             );
@@ -196,15 +200,37 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
             let l = &session.limits;
             let show = |v: Option<u64>| v.map_or("off".to_string(), |n| n.to_string());
             println!(
-                "timeout_ms {}  max_rows {}  max_bytes {}  max_plans {}  max_memo {}  retries {}",
+                "timeout_ms {}  max_rows {}  max_bytes {}  max_plans {}  max_memo {}  retries {}  threads {}",
                 l.timeout
                     .map_or("off".to_string(), |t| t.as_millis().to_string()),
                 show(l.max_rows),
                 show(l.max_bytes),
                 show(l.max_plans),
                 show(l.max_memo_entries),
-                session.max_retries
+                session.max_retries,
+                session.exec.threads
             );
+        }
+        ".bench" => {
+            let threads = parts
+                .get(1)
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .unwrap_or_else(|| session.exec.threads.max(2));
+            println!("running executor benchmark (threads 1 vs {threads}) ...");
+            match run_exec_bench(&ExecBenchConfig {
+                threads,
+                scale: 1,
+                repeats: 2,
+            }) {
+                Ok(report) => {
+                    print!("{}", report.summary_table());
+                    match std::fs::write("BENCH_exec.json", report.to_json()) {
+                        Ok(()) => println!("wrote BENCH_exec.json"),
+                        Err(e) => println!("cannot write BENCH_exec.json: {e}"),
+                    }
+                }
+                Err(e) => println!("bench failed: {e}"),
+            }
         }
         ".explain" => match parts.get(1) {
             Some(sql) => match session.plan(sql) {
@@ -236,6 +262,15 @@ fn set_limit(session: &mut Session, key: &str, val: &str) {
             }
         }
     };
+    if key == "threads" {
+        // Not a governor limit: `off` restores the environment default.
+        session.exec.threads = match parsed {
+            Some(n) => (n as usize).max(1),
+            None => aggview::executor::ExecOptions::default().threads,
+        };
+        println!("threads = {}", session.exec.threads);
+        return;
+    }
     let l = &mut session.limits;
     match key {
         "timeout_ms" => l.timeout = parsed.map(Duration::from_millis),
@@ -248,7 +283,7 @@ fn set_limit(session: &mut Session, key: &str, val: &str) {
             None => session.max_retries = 0,
         },
         other => {
-            println!("unknown limit `{other}` — keys: timeout_ms max_rows max_bytes max_plans max_memo retries");
+            println!("unknown limit `{other}` — keys: timeout_ms max_rows max_bytes max_plans max_memo retries threads");
             return;
         }
     }
@@ -261,5 +296,6 @@ fn with_settings(old: &Session, catalog: aggview::storage::Catalog) -> Session {
     s.config = old.config;
     s.limits = old.limits;
     s.max_retries = old.max_retries;
+    s.exec = old.exec;
     s
 }

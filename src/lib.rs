@@ -17,7 +17,10 @@
 //! * [`executor`] — volcano-style execution with page-IO accounting;
 //! * [`core`] — the paper's contribution: transformations, cost model,
 //!   and optimization algorithms;
-//! * [`sql`] — SQL frontend and nested-subquery flattening.
+//! * [`sql`] — SQL frontend and nested-subquery flattening;
+//! * [`bench`] — the experiment harness, including the executor
+//!   throughput/scaling benchmark behind the `bench` binary and the
+//!   REPL's `.bench` command.
 //!
 //! ## Quickstart
 //!
@@ -25,6 +28,7 @@
 //! state the paper's Example 1 as SQL, optimize it with and without
 //! pull-up, and execute both plans.
 
+pub use aggview_bench as bench;
 pub use aggview_common as common;
 pub use aggview_core as core;
 pub use aggview_executor as executor;
