@@ -17,9 +17,10 @@
 
 use crate::model_with_mem;
 use aggview_common::{
-    AggFunc, AggSpec, CmpOp, Col, Expr, PartialAggState, Predicate, RelId, Result, Tuple, Value,
-    ViewId,
+    AggFunc, AggSpec, AggViewError, CmpOp, Col, Expr, PartialAggState, Predicate, RelId, Result,
+    Tuple, Value, ViewId,
 };
+use aggview_core::analyze::PlanAnalyzer;
 use aggview_core::governor::ResourceGovernor;
 use aggview_core::optimizer::multi_view::optimize;
 use aggview_core::plan::{all_cols, GroupBySpec, Plan};
@@ -91,6 +92,42 @@ pub struct ExecBenchReport {
     pub repeats: usize,
     pub workloads: Vec<WorkloadReport>,
     pub serial_kernels: Vec<KernelReport>,
+    /// Plans run through the static integrity analyzer before execution.
+    pub plans_checked: u64,
+    /// Plans the analyzer accepted. The run aborts on the first
+    /// rejection, so a finished report always has `passed == checked`.
+    pub plans_passed: u64,
+}
+
+/// Gate a bench workload plan behind the static integrity analyzer:
+/// every plan must pass before it is timed, and a rejection fails the
+/// whole bench run (and with it the CI bench-smoke job).
+#[allow(clippy::too_many_arguments)]
+fn analyze_workload(
+    name: &str,
+    catalog: &Catalog,
+    model: aggview_core::CostModel,
+    plan: &Plan,
+    env: &QueryEnv,
+    query: Option<&CanonicalQuery>,
+    checked: &mut u64,
+    passed: &mut u64,
+) -> Result<()> {
+    let analyzer = PlanAnalyzer::new(catalog).with_model(model);
+    let analyzer = match query {
+        Some(q) => analyzer.with_query(q),
+        None => analyzer.with_env(env),
+    };
+    *checked += 1;
+    let report = analyzer.analyze(plan);
+    if !report.is_ok() {
+        return Err(AggViewError::PlanInvalid(format!(
+            "bench workload {name}: {}",
+            report.summary()
+        )));
+    }
+    *passed += 1;
+    Ok(())
 }
 
 /// Run the full suite.
@@ -117,12 +154,24 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
     let full = OptimizerConfig::default();
 
     let mut workloads = Vec::new();
+    let mut plans_checked = 0u64;
+    let mut plans_passed = 0u64;
 
     // End-to-end paper workloads: optimize once, execute at both thread
     // counts.
     {
         let q = example1_query();
         let plan = optimize(&q, &empdept, model, &full)?.plan;
+        analyze_workload(
+            "e1_example1",
+            &empdept,
+            model,
+            &plan,
+            &q.env,
+            Some(&q),
+            &mut plans_checked,
+            &mut plans_passed,
+        )?;
         workloads.push(run_workload(
             "e1_example1",
             &empdept,
@@ -137,6 +186,16 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
     {
         let q = figure4_query();
         let plan = optimize(&q, &empdept, model, &full)?.plan;
+        analyze_workload(
+            "e3_figure4",
+            &empdept,
+            model,
+            &plan,
+            &q.env,
+            Some(&q),
+            &mut plans_checked,
+            &mut plans_passed,
+        )?;
         workloads.push(run_workload(
             "e3_figure4",
             &empdept,
@@ -151,6 +210,16 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
     {
         let q = count_per_customer();
         let plan = optimize(&q, &star, model, &full)?.plan;
+        analyze_workload(
+            "e8_groupby",
+            &star,
+            model,
+            &plan,
+            &q.env,
+            Some(&q),
+            &mut plans_checked,
+            &mut plans_passed,
+        )?;
         workloads.push(run_workload(
             "e8_groupby",
             &star,
@@ -177,6 +246,16 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
         )],
         all_cols(RelId(0), 5),
     );
+    analyze_workload(
+        "scan_filter",
+        &empdept,
+        model,
+        &scan_plan,
+        &env2,
+        None,
+        &mut plans_checked,
+        &mut plans_passed,
+    )?;
     workloads.push(run_workload(
         "scan_filter",
         &empdept,
@@ -195,6 +274,16 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
             Col::base(RelId(1), dept::DNO),
         )],
     );
+    analyze_workload(
+        "hash_join",
+        &empdept,
+        model,
+        &join_plan,
+        &env2,
+        None,
+        &mut plans_checked,
+        &mut plans_passed,
+    )?;
     workloads.push(run_workload(
         "hash_join",
         &empdept,
@@ -217,15 +306,18 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
             having: vec![],
         },
     );
-    workloads.push(run_workload(
+    analyze_workload(
         "hash_agg",
         &empdept,
-        &env2,
         model,
         &agg_plan,
-        n_emp,
-        threads,
-        repeats,
+        &env2,
+        None,
+        &mut plans_checked,
+        &mut plans_passed,
+    )?;
+    workloads.push(run_workload(
+        "hash_agg", &empdept, &env2, model, &agg_plan, n_emp, threads, repeats,
     )?);
 
     let emp_rows = empdept
@@ -248,6 +340,8 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
         repeats,
         workloads,
         serial_kernels,
+        plans_checked,
+        plans_passed,
     })
 }
 
@@ -272,7 +366,8 @@ fn run_workload(
     repeats: usize,
 ) -> Result<WorkloadReport> {
     let serial = Engine::new(catalog, env, model).with_options(ExecOptions::with_threads(1));
-    let parallel = Engine::new(catalog, env, model).with_options(ExecOptions::with_threads(threads));
+    let parallel =
+        Engine::new(catalog, env, model).with_options(ExecOptions::with_threads(threads));
     let (serial_ms, rs) = time_best(repeats, || serial.execute(plan))?;
     let (parallel_ms, rp) = time_best(repeats, || parallel.execute(plan))?;
     Ok(WorkloadReport {
@@ -389,11 +484,22 @@ fn join_kernel_report(
     let (current_ms, current) = time_best(repeats, || {
         let index = build_index(&opts, &gov, dept_rows, &build_pos)?;
         probe_join(
-            &opts, &gov, dept_rows, emp_rows, &index, &build_pos, &probe_pos, &[], true, &emit,
+            &opts,
+            &gov,
+            dept_rows,
+            emp_rows,
+            &index,
+            &build_pos,
+            &probe_pos,
+            &[],
+            true,
+            &emit,
         )
     })?;
     let (legacy_ms, legacy) = time_best(repeats, || {
-        legacy_join(&gov, dept_rows, emp_rows, &build_pos, &probe_pos, &positions)
+        legacy_join(
+            &gov, dept_rows, emp_rows, &build_pos, &probe_pos, &positions,
+        )
     })?;
     assert_eq!(current.0.len(), legacy.len(), "join kernels must agree");
     Ok(KernelReport {
@@ -514,6 +620,8 @@ impl ExecBenchReport {
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
         s.push_str(&format!("  \"scale\": {},\n", self.scale));
         s.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        s.push_str(&format!("  \"plans_checked\": {},\n", self.plans_checked));
+        s.push_str(&format!("  \"plans_passed\": {},\n", self.plans_passed));
         s.push_str("  \"workloads\": [\n");
         for (i, w) in self.workloads.iter().enumerate() {
             s.push_str(&format!(
@@ -555,8 +663,14 @@ impl ExecBenchReport {
     /// bench binary's stdout.
     pub fn summary_table(&self) -> String {
         let mut s = format!(
-            "exec bench — host_cpus {}, threads 1 vs {}, scale {}, best of {}\n",
-            self.host_cpus, self.threads, self.scale, self.repeats
+            "exec bench — host_cpus {}, threads 1 vs {}, scale {}, best of {}\n\
+             plan analyzer: {}/{} workload plans pass integrity checks\n",
+            self.host_cpus,
+            self.threads,
+            self.scale,
+            self.repeats,
+            self.plans_passed,
+            self.plans_checked
         );
         s.push_str(&format!(
             "{:<14} {:>10} {:>10} {:>10} {:>10} {:>8} {:>12}\n",
@@ -619,7 +733,10 @@ mod tests {
             assert!(w.input_rows > 0, "{} input", w.name);
             assert!(w.serial_ms > 0.0 && w.parallel_ms > 0.0, "{} times", w.name);
         }
+        assert_eq!(report.plans_checked, 6, "every workload plan analyzed");
+        assert_eq!(report.plans_passed, 6, "every workload plan accepted");
         let json = report.to_json();
+        assert!(json.contains("\"plans_passed\": 6"));
         assert!(json.contains("\"e8_groupby\""));
         assert!(json.contains("\"serial_kernels\""));
         // Trailing-comma-free JSON: no ",\n  ]" sequences.

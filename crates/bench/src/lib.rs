@@ -6,6 +6,8 @@
 //! chosen plans with measured IO, prints the table/series, and asserts
 //! the expected *shape* (who wins, where the crossover falls).
 
+#![forbid(unsafe_code)]
+
 pub mod exec_bench;
 
 use aggview_core::cost::ops::IoParams;

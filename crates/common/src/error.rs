@@ -25,6 +25,12 @@ pub enum AggViewError {
     /// A plan was structurally invalid (dangling column reference,
     /// non-legal operator tree in the paper's sense, ...).
     Plan(String),
+    /// A plan failed static integrity analysis: the `PlanAnalyzer`
+    /// found a type error, a violated transformation invariant
+    /// (pull-up key rule, invariant-grouping condition, coalescing
+    /// merge stage), or an inconsistent cost annotation. Raised by the
+    /// pre-execution gate.
+    PlanInvalid(String),
     /// Runtime evaluation failure (division by zero, type error at
     /// evaluation time, ...).
     Exec(String),
@@ -49,6 +55,7 @@ impl AggViewError {
             AggViewError::Schema(_) => "schema",
             AggViewError::Catalog(_) => "catalog",
             AggViewError::Plan(_) => "plan",
+            AggViewError::PlanInvalid(_) => "plan-invalid",
             AggViewError::Exec(_) => "exec",
             AggViewError::Optimize(_) => "optimize",
             AggViewError::Cancelled(_) => "cancelled",
@@ -74,6 +81,7 @@ impl AggViewError {
             | AggViewError::Schema(m)
             | AggViewError::Catalog(m)
             | AggViewError::Plan(m)
+            | AggViewError::PlanInvalid(m)
             | AggViewError::Exec(m)
             | AggViewError::Optimize(m)
             | AggViewError::Cancelled(m)
@@ -111,6 +119,7 @@ mod tests {
             AggViewError::Schema(String::new()),
             AggViewError::Catalog(String::new()),
             AggViewError::Plan(String::new()),
+            AggViewError::PlanInvalid(String::new()),
             AggViewError::Exec(String::new()),
             AggViewError::Optimize(String::new()),
             AggViewError::Cancelled(String::new()),
@@ -129,6 +138,7 @@ mod tests {
         for e in [
             AggViewError::Parse(String::new()),
             AggViewError::Exec(String::new()),
+            AggViewError::PlanInvalid(String::new()),
             AggViewError::Cancelled(String::new()),
             AggViewError::ResourceExhausted(String::new()),
         ] {

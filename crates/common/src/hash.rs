@@ -47,20 +47,14 @@ pub fn hash_values(values: &[Value]) -> u64 {
 /// length (the operator builds both from the same equi-key list).
 pub fn keys_equal(a: &Tuple, a_pos: &[usize], b: &Tuple, b_pos: &[usize]) -> bool {
     debug_assert_eq!(a_pos.len(), b_pos.len());
-    a_pos
-        .iter()
-        .zip(b_pos)
-        .all(|(&i, &j)| a.get(i) == b.get(j))
+    a_pos.iter().zip(b_pos).all(|(&i, &j)| a.get(i) == b.get(j))
 }
 
 /// Key equality between an already-projected key tuple (`key[i]`) and
 /// the projection `pos` of `row`.
 pub fn key_matches_row(key: &Tuple, row: &Tuple, pos: &[usize]) -> bool {
     debug_assert_eq!(key.arity(), pos.len());
-    key.values()
-        .iter()
-        .zip(pos)
-        .all(|(k, &i)| k == row.get(i))
+    key.values().iter().zip(pos).all(|(k, &i)| k == row.get(i))
 }
 
 /// A map keyed by an already-computed 64-bit key hash.

@@ -19,6 +19,8 @@
 //!   parallel operators built on them,
 //! * [`AggViewError`] — the workspace-wide error type.
 
+#![forbid(unsafe_code)]
+
 pub mod agg;
 pub mod error;
 pub mod expr;

@@ -1,0 +1,194 @@
+//! Static integrity analysis of operator trees — the `PlanAnalyzer`.
+//!
+//! The paper's correctness argument rests on structural invariants of
+//! each transformation: pull-up must group on the joined relation's key
+//! (Definition 1), invariant grouping requires the joined-above
+//! relations to match at most one tuple per group, and simple
+//! coalescing grouping requires decomposable aggregates whose merge
+//! stage mirrors the partial stage (Figure 2). This module turns those
+//! invariants — plus a typed schema pass and cost-annotation sanity —
+//! into machine-checked properties of any [`Plan`]:
+//!
+//! * [`schema`] — bottom-up type inference: column resolution, operator
+//!   arity, aggregate input types, predicate comparability, and no
+//!   references to columns dropped below a group-by;
+//! * [`rules`] — transformation legality: the pull-up key rule, the
+//!   invariant-grouping key-join condition, the coalescing merge-stage
+//!   identity, and the degraded-plan (traditional two-phase) shape;
+//! * [`cost`] — cost-model sanity: finite non-negative cost/cardinality
+//!   /width and monotone bounds against the inputs;
+//! * [`mutate`] — a negative-test harness of seeded plan mutations the
+//!   analyzer must reject.
+//!
+//! The analyzer is wired three ways: as a debug-mode post-condition
+//! after optimization and after each pull-up application, as a hard
+//! pre-execution gate in the executor (raising
+//! [`AggViewError::PlanInvalid`]), and as a user surface via the REPL's
+//! `.lint` command and `EXPLAIN VERIFY <select>`.
+
+pub mod cost;
+pub mod mutate;
+pub mod rules;
+pub mod schema;
+
+use crate::cost::CostModel;
+use crate::plan::Plan;
+use crate::query::{CanonicalQuery, QueryEnv};
+use aggview_common::{AggViewError, Result};
+use aggview_storage::Catalog;
+use std::fmt;
+
+/// One analyzer finding: which rule fired and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule identifier (`schema`, `pull-up-key`,
+    /// `invariant-grouping`, `coalescing-merge`, `degraded-shape`,
+    /// `cost-sanity`).
+    pub rule: &'static str,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+impl Violation {
+    pub(crate) fn new(rule: &'static str, message: String) -> Violation {
+        Violation { rule, message }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.message)
+    }
+}
+
+/// The outcome of analyzing one plan.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Every violated invariant, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl AnalysisReport {
+    /// True when no invariant was violated.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Collapse the report into a single error message.
+    pub fn summary(&self) -> String {
+        if self.is_ok() {
+            return "plan passes all integrity checks".into();
+        }
+        let msgs: Vec<String> = self.violations.iter().map(|v| v.to_string()).collect();
+        format!(
+            "{} integrity violation(s): {}",
+            self.violations.len(),
+            msgs.join("; ")
+        )
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            return f.write_str("plan passes all integrity checks");
+        }
+        for v in &self.violations {
+            writeln!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Static verifier for [`Plan`] trees.
+///
+/// Construction is incremental: the catalog alone enables the typed
+/// schema pass and the structural transformation rules; adding the
+/// query environment enables scan-binding checks; adding the canonical
+/// query enables the pull-up key rule (which must know each view's
+/// original relations) and the degraded-shape check; adding a cost
+/// model enables cost-annotation sanity.
+pub struct PlanAnalyzer<'a> {
+    catalog: &'a Catalog,
+    env: Option<&'a QueryEnv>,
+    query: Option<&'a CanonicalQuery>,
+    model: Option<CostModel>,
+}
+
+impl<'a> PlanAnalyzer<'a> {
+    /// Catalog-only analyzer: typed schema pass, invariant-grouping and
+    /// coalescing rules.
+    pub fn new(catalog: &'a Catalog) -> PlanAnalyzer<'a> {
+        PlanAnalyzer {
+            catalog,
+            env: None,
+            query: None,
+            model: None,
+        }
+    }
+
+    /// Enable scan-binding checks (each scan's table must match the
+    /// query's relation declaration) and, with a model, cost checks.
+    pub fn with_env(mut self, env: &'a QueryEnv) -> PlanAnalyzer<'a> {
+        self.env = Some(env);
+        self
+    }
+
+    /// Enable the pull-up key rule (Definition 1), which needs to know
+    /// which relations each view block originally aggregated over.
+    /// Implies [`PlanAnalyzer::with_env`].
+    pub fn with_query(mut self, query: &'a CanonicalQuery) -> PlanAnalyzer<'a> {
+        self.env = Some(&query.env);
+        self.query = Some(query);
+        self
+    }
+
+    /// Enable cost-annotation sanity checks (requires an environment,
+    /// via [`PlanAnalyzer::with_env`] or [`PlanAnalyzer::with_query`]).
+    pub fn with_model(mut self, model: CostModel) -> PlanAnalyzer<'a> {
+        self.model = Some(model);
+        self
+    }
+
+    /// Run every enabled pass and collect violations.
+    pub fn analyze(&self, plan: &Plan) -> AnalysisReport {
+        let mut violations = Vec::new();
+        schema::check(
+            plan,
+            self.catalog,
+            self.env.map(|e| e.rel_tables.as_slice()),
+            &mut violations,
+        );
+        if let Some(query) = self.query {
+            rules::check_pullup_keys(plan, self.catalog, query, &mut violations);
+        }
+        rules::check_invariant_grouping(plan, self.catalog, &mut violations);
+        rules::check_coalescing(plan, &mut violations);
+        if let (Some(model), Some(env)) = (self.model, self.env) {
+            cost::check(plan, model, self.catalog, env, &mut violations);
+        }
+        AnalysisReport { violations }
+    }
+
+    /// Like [`PlanAnalyzer::analyze`], additionally requiring the shape
+    /// of a governor-degraded plan: the traditional two-phase form
+    /// (each view aggregated over exactly its own relations, no partial
+    /// aggregation, the top group-by at the root).
+    pub fn analyze_degraded(&self, plan: &Plan) -> AnalysisReport {
+        let mut report = self.analyze(plan);
+        if let Some(query) = self.query {
+            rules::check_degraded_shape(plan, query, &mut report.violations);
+        }
+        report
+    }
+
+    /// Hard gate: `Err(PlanInvalid)` when any enabled check fails.
+    pub fn verify(&self, plan: &Plan) -> Result<()> {
+        let report = self.analyze(plan);
+        if report.is_ok() {
+            Ok(())
+        } else {
+            Err(AggViewError::PlanInvalid(report.summary()))
+        }
+    }
+}

@@ -287,8 +287,13 @@ impl ResourceGovernor {
 
     /// Charge `n` memo entries against the optimizer search budget.
     pub fn charge_memo(&self, n: u64) -> Result<()> {
-        Self::charge(&self.memo, self.limits.max_memo_entries, n, "optimizer memo")
-            .map_err(AggViewError::ResourceExhausted)
+        Self::charge(
+            &self.memo,
+            self.limits.max_memo_entries,
+            n,
+            "optimizer memo",
+        )
+        .map_err(AggViewError::ResourceExhausted)
     }
 
     /// Rows charged so far.

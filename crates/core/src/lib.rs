@@ -23,8 +23,16 @@
 //!   view (Section 5.3), its generalization to multiple views
 //!   (Section 5.4), the traditional two-phase baseline, and search-space
 //!   accounting with the paper's practical restrictions (k-level pull-up,
-//!   predicate-connectivity gating).
+//!   predicate-connectivity gating),
+//! * [`analyze`] — the static plan-integrity analyzer: a typed schema
+//!   pass plus machine-checked forms of the transformation invariants
+//!   above (Definition 1's key rule, the invariant-grouping key-join
+//!   condition, Figure 2's coalescing merge stage) and cost-annotation
+//!   sanity, with a seeded-mutation negative-test harness.
 
+#![forbid(unsafe_code)]
+
+pub mod analyze;
 pub mod cost;
 pub mod governor;
 pub mod optimizer;
@@ -32,6 +40,7 @@ pub mod plan;
 pub mod query;
 pub mod transform;
 
+pub use analyze::{AnalysisReport, PlanAnalyzer, Violation};
 pub use cost::{CardEstimator, CostModel, PlanProps};
 pub use governor::{
     CancellationToken, DegradationReason, OptimizeOutcome, ResourceGovernor, ResourceLimits,

@@ -134,7 +134,14 @@ pub fn enumerate_linear(
     est: &CardEstimator<'_>,
     stats: &mut SearchStats,
 ) -> Result<DpEntry> {
-    enumerate_linear_governed(items, preds, required, est, stats, &ResourceGovernor::unlimited())
+    enumerate_linear_governed(
+        items,
+        preds,
+        required,
+        est,
+        stats,
+        &ResourceGovernor::unlimited(),
+    )
 }
 
 /// [`enumerate_linear`] under a [`ResourceGovernor`]: each subset

@@ -76,7 +76,14 @@ pub fn optimize_block(
     config: &OptimizerConfig,
     stats: &mut SearchStats,
 ) -> Result<DpEntry> {
-    optimize_block_governed(q, est, catalog, config, stats, &ResourceGovernor::unlimited())
+    optimize_block_governed(
+        q,
+        est,
+        catalog,
+        config,
+        stats,
+        &ResourceGovernor::unlimited(),
+    )
 }
 
 /// Optimize a single block under a [`ResourceGovernor`]: every subset

@@ -67,7 +67,13 @@ pub fn optimize(
     model: CostModel,
     config: &OptimizerConfig,
 ) -> Result<Optimized> {
-    optimize_governed(query, catalog, model, config, &ResourceGovernor::unlimited())
+    optimize_governed(
+        query,
+        catalog,
+        model,
+        config,
+        &ResourceGovernor::unlimited(),
+    )
 }
 
 /// [`optimize`] under a [`ResourceGovernor`].
@@ -105,6 +111,19 @@ pub fn optimize_governed(
                 &fallback_gov,
             )?;
             opt.outcome = OptimizeOutcome::Degraded(reason);
+            // Debug-mode post-condition: a degraded plan must be a
+            // well-formed traditional two-phase plan.
+            #[cfg(debug_assertions)]
+            {
+                let report = crate::analyze::PlanAnalyzer::new(catalog)
+                    .with_query(query)
+                    .analyze_degraded(&opt.plan);
+                debug_assert!(
+                    report.is_ok(),
+                    "degraded plan violates integrity invariants:\n{report}{}",
+                    opt.plan.explain()
+                );
+            }
             Ok(opt)
         }
         Err(e) => Err(e),
@@ -193,7 +212,9 @@ fn optimize_inner(
                 .enumerate()
                 .map(|(i, &c)| &per_view[i][c])
                 .collect();
-            match outer_phase(query, &chosen, bprime, &est, catalog, config, &mut stats, gov) {
+            match outer_phase(
+                query, &chosen, bprime, &est, catalog, config, &mut stats, gov,
+            ) {
                 Ok(candidate) => {
                     if best
                         .as_ref()
@@ -252,6 +273,19 @@ fn optimize_inner(
         }
     }
     out.stats = stats;
+    // Debug-mode post-condition: every plan the optimizer hands out
+    // satisfies the static integrity invariants.
+    #[cfg(debug_assertions)]
+    {
+        let report = crate::analyze::PlanAnalyzer::new(catalog)
+            .with_query(query)
+            .analyze(&out.plan);
+        debug_assert!(
+            report.is_ok(),
+            "optimizer emitted a plan violating integrity invariants:\n{report}{}",
+            out.plan.explain()
+        );
+    }
     Ok(out)
 }
 

@@ -35,7 +35,13 @@ pub fn optimize_single_view(
     model: CostModel,
     config: &OptimizerConfig,
 ) -> Result<Optimized> {
-    optimize_single_view_governed(query, catalog, model, config, &ResourceGovernor::unlimited())
+    optimize_single_view_governed(
+        query,
+        catalog,
+        model,
+        config,
+        &ResourceGovernor::unlimited(),
+    )
 }
 
 /// [`optimize_single_view`] under a [`ResourceGovernor`].

@@ -162,7 +162,19 @@ pub fn pull_up(plan: &Plan, catalog: &Catalog) -> Result<Plan> {
     };
     // (1): G2 projects what J1 projected.
     let _ = gb_project; // G1's own projection is subsumed by J1's.
-    Ok(Plan::group_by(j2, g2, project.clone()))
+    let out = Plan::group_by(j2, g2, project.clone());
+    // Debug-mode post-condition: the transformed tree must satisfy the
+    // structural invariants (typed schema, coalescing, key joins).
+    #[cfg(debug_assertions)]
+    {
+        let report = crate::analyze::PlanAnalyzer::new(catalog).analyze(&out);
+        debug_assert!(
+            report.is_ok(),
+            "pull-up produced a plan violating integrity invariants:\n{report}{}",
+            out.explain()
+        );
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -47,14 +47,20 @@ fn cost_monotone_in_memory() {
     let join = Plan::join_all(
         emp_scan(vec![]),
         dept_scan(),
-        vec![Predicate::eq_cols(Col::base(RelId(0), 2), Col::base(RelId(1), 0))],
+        vec![Predicate::eq_cols(
+            Col::base(RelId(0), 2),
+            Col::base(RelId(1), 0),
+        )],
     );
     let gb = Plan::group_by_all(
         join.clone(),
         GroupBySpec {
             owner: ViewId::Top,
             group_cols: vec![Col::base(RelId(0), 2)],
-            aggs: vec![AggSpec::new(AggFunc::Avg, Expr::col(Col::base(RelId(0), 3)))],
+            aggs: vec![AggSpec::new(
+                AggFunc::Avg,
+                Expr::col(Col::base(RelId(0), 3)),
+            )],
             having: vec![],
         },
     );
@@ -127,7 +133,10 @@ fn projection_narrowing_is_free_or_better() {
     let wide = Plan::join_all(
         emp_scan(vec![]),
         dept_scan(),
-        vec![Predicate::eq_cols(Col::base(RelId(0), 2), Col::base(RelId(1), 0))],
+        vec![Predicate::eq_cols(
+            Col::base(RelId(0), 2),
+            Col::base(RelId(1), 0),
+        )],
     );
     let narrow = wide
         .clone()
@@ -149,7 +158,10 @@ fn join_cardinality_sane() {
     let join = Plan::join_all(
         emp_scan(vec![]),
         dept_scan(),
-        vec![Predicate::eq_cols(Col::base(RelId(0), 2), Col::base(RelId(1), 0))],
+        vec![Predicate::eq_cols(
+            Col::base(RelId(0), 2),
+            Col::base(RelId(1), 0),
+        )],
     );
     let card = est.cost_plan(&join).unwrap().card;
     let emp_rows = 40.0 * 25.0;

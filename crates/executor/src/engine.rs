@@ -120,6 +120,11 @@ impl<'a> Engine<'a> {
     /// than exhausting memory. The fault injector, when present, is
     /// consulted at storage scans and operator entries and may surface
     /// [`AggViewError::Transient`] failures for robustness testing.
+    ///
+    /// Before any work starts, the plan must pass the static
+    /// [`aggview_core::PlanAnalyzer`] integrity gate; a defective plan
+    /// is rejected with [`AggViewError::PlanInvalid`] instead of being
+    /// executed.
     pub fn execute_governed(
         &self,
         plan: &Plan,
@@ -127,6 +132,9 @@ impl<'a> Engine<'a> {
         faults: Option<&dyn FaultInjector>,
     ) -> Result<ResultSet> {
         plan.validate(self.catalog, &self.env.rel_tables)?;
+        aggview_core::PlanAnalyzer::new(self.catalog)
+            .with_env(self.env)
+            .verify(plan)?;
         let mut ctx = ExecCtx {
             breakdown: Vec::new(),
             gov,
@@ -386,14 +394,8 @@ impl<'a> Engine<'a> {
         // Accumulate (two-phase when parallel: per-worker tables, then a
         // coalescing merge).
         let funcs: Vec<AggFunc> = spec.aggs.iter().map(|a| a.func).collect();
-        let table = parallel::accumulate_groups(
-            &ctx.options,
-            ctx.gov,
-            &irows,
-            &key_pos,
-            &inputs,
-            &funcs,
-        )?;
+        let table =
+            parallel::accumulate_groups(&ctx.options, ctx.gov, &irows, &key_pos, &inputs, &funcs)?;
 
         // Finalize, apply HAVING, project.
         let mut out_cols: Vec<Col> = spec.group_cols.clone();
@@ -476,14 +478,8 @@ impl<'a> Engine<'a> {
             })
             .collect::<Result<_>>()?;
         let funcs: Vec<AggFunc> = spec.aggs.iter().map(|(_, a)| a.func).collect();
-        let table = parallel::accumulate_groups(
-            &ctx.options,
-            ctx.gov,
-            &irows,
-            &key_pos,
-            &inputs,
-            &funcs,
-        )?;
+        let table =
+            parallel::accumulate_groups(&ctx.options, ctx.gov, &irows, &key_pos, &inputs, &funcs)?;
 
         // Output layout: group cols then partial components per agg.
         let mut out_cols: Vec<Col> = spec.group_cols.clone();

@@ -27,6 +27,8 @@
 //! * [`verify`] — multiset result comparison used by every
 //!   plan-equivalence test.
 
+#![forbid(unsafe_code)]
+
 pub mod correlated;
 pub mod engine;
 pub mod parallel;

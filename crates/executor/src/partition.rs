@@ -284,9 +284,7 @@ mod tests {
 
     #[test]
     fn group_table_accumulates_and_merges_like_one_pass() {
-        let rows: Vec<Tuple> = (0..100)
-            .map(|i| tuple![(i % 7) as i64, i as i64])
-            .collect();
+        let rows: Vec<Tuple> = (0..100).map(|i| tuple![(i % 7) as i64, i as i64]).collect();
         let funcs = [AggFunc::Count, AggFunc::Sum];
         let inputs = [
             AggInput::RawCountStar,
@@ -332,8 +330,12 @@ mod tests {
         // AVG partial components at positions [1, 2] of the row.
         let mut state = PartialAggState::empty(AggFunc::Avg);
         let row = tuple![0i64, 10.0f64, 2i64]; // sum=10, count=2
-        AggInput::Partial(vec![1, 2]).absorb(&mut state, &row).unwrap();
-        AggInput::Partial(vec![1, 2]).absorb(&mut state, &row).unwrap();
+        AggInput::Partial(vec![1, 2])
+            .absorb(&mut state, &row)
+            .unwrap();
+        AggInput::Partial(vec![1, 2])
+            .absorb(&mut state, &row)
+            .unwrap();
         assert_eq!(state.finalize().unwrap(), Value::Float(5.0));
     }
 }

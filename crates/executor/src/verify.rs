@@ -62,7 +62,20 @@ pub fn assert_equivalent(a: &ResultSet, b: &ResultSet) -> Result<()> {
     }
     for (i, (x, y)) in ra.iter().zip(&rb).enumerate() {
         if x != y {
-            return Err(AggViewError::Exec(format!("row {i} differs: {x} vs {y}")));
+            // Canonical rows follow `a.cols` order, so the position of
+            // the first unequal value names the offending column.
+            let k = x
+                .values()
+                .iter()
+                .zip(y.values())
+                .position(|(u, v)| u != v)
+                .unwrap_or(0);
+            return Err(AggViewError::Exec(format!(
+                "row {i} differs at column {} (position {k}): {} vs {} — full rows {x} vs {y}",
+                a.cols[k],
+                x.get(k),
+                y.get(k),
+            )));
         }
     }
     Ok(())
@@ -117,6 +130,18 @@ mod tests {
         assert!(err.message().contains("differs"));
         let short = rs(c, vec![]);
         assert!(assert_equivalent(&a, &short).is_err());
+    }
+
+    #[test]
+    fn first_differing_column_is_named() {
+        let c0 = Col::base(RelId(0), 0);
+        let c1 = Col::base(RelId(0), 1);
+        let a = rs(vec![c0, c1], vec![tuple![1i64, "x"]]);
+        let b = rs(vec![c0, c1], vec![tuple![1i64, "y"]]);
+        let err = assert_equivalent(&a, &b).unwrap_err();
+        assert_eq!(err.kind(), "exec");
+        assert!(err.message().contains("r0.c1"), "{}", err.message());
+        assert!(err.message().contains("position 1"), "{}", err.message());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Executor edge cases: empty inputs, empty groups, degenerate keys,
 //! zero-width projections, and concurrent catalog access.
 
-use aggview_common::{AggFunc, AggSpec, CmpOp, Col, DataType, Expr, Predicate, RelId, Schema, Value, ViewId};
+use aggview_common::{
+    AggFunc, AggSpec, CmpOp, Col, DataType, Expr, Predicate, RelId, Schema, Value, ViewId,
+};
 use aggview_core::cost::CostModel;
 use aggview_core::plan::{all_cols, GroupBySpec, Plan};
 use aggview_core::query::QueryEnv;
@@ -39,7 +41,12 @@ fn scan_of_empty_table_charges_nothing_and_yields_nothing() {
     let (cat, env) = empty_and_tiny();
     let engine = Engine::new(&cat, &env, CostModel::default());
     let rs = engine
-        .execute(&Plan::scan(RelId(0), "empty", vec![], all_cols(RelId(0), 2)))
+        .execute(&Plan::scan(
+            RelId(0),
+            "empty",
+            vec![],
+            all_cols(RelId(0), 2),
+        ))
         .unwrap();
     assert!(rs.rows.is_empty());
     assert_eq!(rs.io_pages, 0.0);
@@ -54,7 +61,10 @@ fn group_by_over_empty_input_yields_no_groups() {
         GroupBySpec {
             owner: ViewId::Top,
             group_cols: vec![Col::base(RelId(0), 0)],
-            aggs: vec![AggSpec::new(AggFunc::Sum, Expr::col(Col::base(RelId(0), 1)))],
+            aggs: vec![AggSpec::new(
+                AggFunc::Sum,
+                Expr::col(Col::base(RelId(0), 1)),
+            )],
             having: vec![],
         },
     );
@@ -72,7 +82,10 @@ fn scalar_aggregate_over_nonempty_input_yields_one_row() {
         GroupBySpec {
             owner: ViewId::Top,
             group_cols: vec![],
-            aggs: vec![AggSpec::new(AggFunc::Avg, Expr::col(Col::base(RelId(1), 1)))],
+            aggs: vec![AggSpec::new(
+                AggFunc::Avg,
+                Expr::col(Col::base(RelId(1), 1)),
+            )],
             having: vec![],
         },
     );
@@ -88,7 +101,10 @@ fn join_with_empty_side_is_empty() {
     let plan = Plan::join_all(
         Plan::scan(RelId(0), "empty", vec![], all_cols(RelId(0), 2)),
         Plan::scan(RelId(1), "tiny", vec![], all_cols(RelId(1), 2)),
-        vec![Predicate::eq_cols(Col::base(RelId(0), 0), Col::base(RelId(1), 0))],
+        vec![Predicate::eq_cols(
+            Col::base(RelId(0), 0),
+            Col::base(RelId(1), 0),
+        )],
     );
     let rs = engine.execute(&plan).unwrap();
     assert!(rs.rows.is_empty());
@@ -187,7 +203,10 @@ fn duplicate_join_values_multiply_correctly() {
     let plan = Plan::join_all(
         Plan::scan(RelId(0), "dups", vec![], all_cols(RelId(0), 2)),
         Plan::scan(RelId(1), "dups", vec![], all_cols(RelId(1), 2)),
-        vec![Predicate::eq_cols(Col::base(RelId(0), 0), Col::base(RelId(1), 0))],
+        vec![Predicate::eq_cols(
+            Col::base(RelId(0), 0),
+            Col::base(RelId(1), 0),
+        )],
     );
     let rs = engine.execute(&plan).unwrap();
     assert_eq!(rs.rows.len(), 16, "4×4 matches on the shared key");

@@ -149,6 +149,9 @@ pub enum Stmt {
         columns: Option<Vec<String>>,
         query: SelectStmt,
     },
+    /// `EXPLAIN VERIFY select` — optimize the query and run the static
+    /// plan-integrity analyzer over the chosen plan, without executing.
+    ExplainVerify(SelectStmt),
 }
 
 #[cfg(test)]

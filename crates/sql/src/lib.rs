@@ -18,6 +18,8 @@
 //! * [`session`] — a convenience REPL-style API: `CREATE VIEW` + query
 //!   → optimize → execute, returning rows plus measured IO.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod binder;
 pub mod flatten;

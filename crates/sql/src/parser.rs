@@ -117,6 +117,10 @@ impl Parser {
     fn statement(&mut self) -> Result<Stmt> {
         if self.peek().is_some_and(|t| t.is_kw("create")) {
             self.create_view()
+        } else if self.peek().is_some_and(|t| t.is_kw("explain")) {
+            self.expect_kw("explain")?;
+            self.expect_kw("verify")?;
+            Ok(Stmt::ExplainVerify(self.select()?))
         } else {
             Ok(Stmt::Select(self.select()?))
         }

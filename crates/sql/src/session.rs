@@ -3,7 +3,8 @@
 use crate::ast::Stmt;
 use crate::binder::{bind, BoundQuery, ViewRegistry};
 use crate::parser::parse_script;
-use aggview_common::{AggViewError, FaultInjector, Result, Tuple};
+use aggview_common::{AggViewError, FaultInjector, Result, Tuple, Value};
+use aggview_core::analyze::PlanAnalyzer;
 use aggview_core::cost::CostModel;
 use aggview_core::governor::{OptimizeOutcome, ResourceGovernor, ResourceLimits};
 use aggview_core::optimizer::multi_view::{optimize_governed, Optimized};
@@ -141,6 +142,10 @@ impl Session {
                     apply_order_and_limit(&mut result, &s.order_by, s.limit)?;
                     last = Some(result);
                 }
+                Stmt::ExplainVerify(s) => {
+                    let bound = bind(&s, &self.catalog, &self.registry)?;
+                    last = Some(self.verify_bound(&bound)?);
+                }
             }
         }
         last.ok_or_else(|| AggViewError::Bind("script contains no SELECT".into()))
@@ -158,7 +163,7 @@ impl Session {
                     columns,
                     query,
                 } => self.registry.register(&name, columns, query),
-                Stmt::Select(s) => select = Some(s),
+                Stmt::Select(s) | Stmt::ExplainVerify(s) => select = Some(s),
             }
         }
         let s = select.ok_or_else(|| AggViewError::Bind("script contains no SELECT".into()))?;
@@ -166,6 +171,65 @@ impl Session {
         let gov = ResourceGovernor::new(self.limits);
         let opt = optimize_governed(&bound.query, &self.catalog, self.model, &self.config, &gov)?;
         Ok((bound, opt))
+    }
+
+    /// Optimize the script's last SELECT and run the static
+    /// plan-integrity analyzer over the chosen plan, without executing
+    /// it. Backs the REPL's `.lint` command and `EXPLAIN VERIFY`.
+    ///
+    /// The result has one `(rule, finding)` row per violation, or a
+    /// single `(ok, ...)` row when the plan passes every check; the
+    /// `plan` and `estimated_cost` fields describe the analyzed plan.
+    pub fn verify(&mut self, sql: &str) -> Result<SqlResult> {
+        let stmts = parse_script(sql)?;
+        let mut select = None;
+        for stmt in stmts {
+            match stmt {
+                Stmt::CreateView {
+                    name,
+                    columns,
+                    query,
+                } => self.registry.register(&name, columns, query),
+                Stmt::Select(s) | Stmt::ExplainVerify(s) => select = Some(s),
+            }
+        }
+        let s = select.ok_or_else(|| AggViewError::Bind("script contains no SELECT".into()))?;
+        let bound = bind(&s, &self.catalog, &self.registry)?;
+        self.verify_bound(&bound)
+    }
+
+    fn verify_bound(&self, bound: &BoundQuery) -> Result<SqlResult> {
+        let gov = ResourceGovernor::new(self.limits);
+        let opt = optimize_governed(&bound.query, &self.catalog, self.model, &self.config, &gov)?;
+        let analyzer = PlanAnalyzer::new(&self.catalog)
+            .with_query(&bound.query)
+            .with_model(self.model);
+        let report = if opt.outcome.is_degraded() {
+            analyzer.analyze_degraded(&opt.plan)
+        } else {
+            analyzer.analyze(&opt.plan)
+        };
+        let rows = if report.is_ok() {
+            vec![Tuple::new(vec![
+                Value::str("ok"),
+                Value::str("plan passes all integrity checks"),
+            ])]
+        } else {
+            report
+                .violations
+                .iter()
+                .map(|v| Tuple::new(vec![Value::str(v.rule), Value::str(&v.message)]))
+                .collect()
+        };
+        Ok(SqlResult {
+            columns: vec!["rule".into(), "finding".into()],
+            rows,
+            io_pages: 0.0,
+            estimated_cost: opt.props.cost,
+            plan: opt.plan.explain(),
+            outcome: opt.outcome,
+            retries: 0,
+        })
     }
 
     fn run_bound(&self, bound: &BoundQuery) -> Result<SqlResult> {
@@ -187,8 +251,8 @@ impl Session {
     fn run_bound_once(&self, bound: &BoundQuery) -> Result<SqlResult> {
         let gov = ResourceGovernor::new(self.limits);
         let opt = optimize_governed(&bound.query, &self.catalog, self.model, &self.config, &gov)?;
-        let engine = Engine::new(&self.catalog, &bound.query.env, self.model)
-            .with_options(self.exec);
+        let engine =
+            Engine::new(&self.catalog, &bound.query.env, self.model).with_options(self.exec);
         let rs = engine.execute_governed(&opt.plan, &gov, self.faults.as_deref())?;
         // Reorder executed rows to the query's declared projection.
         let positions: Vec<usize> = bound

@@ -16,6 +16,8 @@
 //!   running example, a TPC-D-like decision-support star schema, and
 //!   random catalogs for property-based testing.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod datagen;
 pub mod keys;

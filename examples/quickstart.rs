@@ -45,13 +45,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         ..Default::default()
     };
     session.model = model;
-    let result = session
-        .execute(
-            "create view A1(dno, Asal) as \
+    let result = session.execute(
+        "create view A1(dno, Asal) as \
                select e2.dno, avg(e2.sal) from emp e2 group by e2.dno; \
              select e1.sal from emp e1, A1 b \
               where e1.dno = b.dno and e1.age < 22 and e1.sal > b.Asal;",
-        )?;
+    )?;
 
     println!("chosen plan (cost-based, pull-up & push-down enabled):");
     println!("{}", result.plan);
@@ -70,11 +69,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 3. Compare the optimizer's choice with the traditional two-phase
     //    optimizer on the same canonical query.
-    let (bound, full) = session
-        .plan(
-            "select e1.sal from emp e1, A1 b \
+    let (bound, full) = session.plan(
+        "select e1.sal from emp e1, A1 b \
               where e1.dno = b.dno and e1.age < 22 and e1.sal > b.Asal",
-        )?;
+    )?;
     let trad = optimize(
         &bound.query,
         session.catalog(),

@@ -180,12 +180,12 @@ pub mod sample {
 }
 
 pub mod prelude {
-    pub use crate::strategy::Strategy;
-    pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
     /// Mirrors `proptest::prelude::prop`, the crate-root alias used for
     /// paths like `prop::sample::select`.
     pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
 
 /// Defines deterministic property tests. Supports the same shape the

@@ -112,6 +112,7 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
                  .limits                      show current resource limits\n\
                  .bench [threads]             executor scaling benchmark (writes BENCH_exec.json)\n\
                  .explain <sql>               show the chosen plan without running\n\
+                 .lint <sql>                  run the plan-integrity analyzer without running\n\
                  .quit                        leave"
             );
         }
@@ -245,6 +246,16 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
             },
             None => println!("usage: .explain <sql>"),
         },
+        ".lint" => match parts.get(1) {
+            Some(sql) => match session.verify(sql) {
+                Ok(result) => {
+                    print!("{}", result.plan);
+                    print!("{}", result.to_table());
+                }
+                Err(e) => println!("{e}"),
+            },
+            None => println!("usage: .lint <sql>"),
+        },
         other => println!("unknown command `{other}` — try .help"),
     }
     true
@@ -287,7 +298,10 @@ fn set_limit(session: &mut Session, key: &str, val: &str) {
             return;
         }
     }
-    println!("{key} = {}", parsed.map_or("off".to_string(), |n| n.to_string()));
+    println!(
+        "{key} = {}",
+        parsed.map_or("off".to_string(), |n| n.to_string())
+    );
 }
 
 fn with_settings(old: &Session, catalog: aggview::storage::Catalog) -> Session {

@@ -28,6 +28,8 @@
 //! state the paper's Example 1 as SQL, optimize it with and without
 //! pull-up, and execute both plans.
 
+#![forbid(unsafe_code)]
+
 pub use aggview_bench as bench;
 pub use aggview_common as common;
 pub use aggview_core as core;

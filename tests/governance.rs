@@ -94,9 +94,7 @@ fn cancellation_propagates_and_never_degrades() {
     // The executor honours the same token at operator boundaries.
     let opt = optimize(&q, &catalog, model, &cfg).unwrap();
     let engine = Engine::new(&catalog, &q.env, model);
-    let err = engine
-        .execute_governed(&opt.plan, &gov, None)
-        .unwrap_err();
+    let err = engine.execute_governed(&opt.plan, &gov, None).unwrap_err();
     assert_eq!(err.kind(), "cancelled");
 }
 
@@ -111,9 +109,7 @@ fn row_budget_aborts_within_one_operator_boundary() {
 
     let cap = 5u64;
     let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_rows(cap));
-    let err = engine
-        .execute_governed(&opt.plan, &gov, None)
-        .unwrap_err();
+    let err = engine.execute_governed(&opt.plan, &gov, None).unwrap_err();
     assert_eq!(err.kind(), "resource-exhausted");
     assert!(!err.is_retryable());
     // Every intermediate tuple is charged as it is produced, so the
@@ -136,9 +132,7 @@ fn byte_budget_aborts_with_structured_error() {
     let engine = Engine::new(&catalog, &q.env, model);
 
     let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_bytes(64));
-    let err = engine
-        .execute_governed(&opt.plan, &gov, None)
-        .unwrap_err();
+    let err = engine.execute_governed(&opt.plan, &gov, None).unwrap_err();
     assert_eq!(err.kind(), "resource-exhausted");
 }
 
@@ -159,7 +153,8 @@ fn row_budget_holds_under_parallel_execution() {
 
     let opt = optimize(&q, &catalog, model, &OptimizerConfig::default()).unwrap();
     let threads = 4u64;
-    let engine = Engine::new(&catalog, &q.env, model).with_options(parallel_options(threads as usize));
+    let engine =
+        Engine::new(&catalog, &q.env, model).with_options(parallel_options(threads as usize));
 
     let cap = 5u64;
     let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_rows(cap));
