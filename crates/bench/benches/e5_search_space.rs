@@ -97,6 +97,7 @@ fn main() {
                 pull_up: level,
                 push_down: level != PullUpLevel::Disabled,
                 require_shared_predicate: gate,
+                ..Default::default()
             };
             let opt = optimize(&q, &catalog, model, &cfg).expect("optimize");
             row.push(opt.stats.total().to_string());

@@ -9,7 +9,10 @@
 //! current hash-then-compare join/group-by kernels against a
 //! re-implementation of the old clone-a-`Vec<Value>`-key-per-row
 //! baseline on identical materialized inputs, quantifying the serial
-//! win from key-clone elimination.
+//! win from key-clone elimination. A *matview* section measures the
+//! same aggregate query cold (inlined), answered from a materialized
+//! view extent, and after staleness + `REFRESH`, and checks that
+//! incremental `INSERT` maintenance reproduces the rebuilt extent.
 //!
 //! The report records `host_cpus`: on a single-core host the parallel
 //! speedup cannot exceed ~1.0 regardless of implementation, so CI (or
@@ -71,6 +74,31 @@ pub struct WorkloadReport {
     pub peak_intermediate_bytes: u64,
 }
 
+/// The materialized-view workload: the same aggregate query answered
+/// cold (inlined over base data), from a fresh extent, and after a
+/// staleness-induced refresh, plus an incremental-vs-rebuild
+/// equivalence check.
+#[derive(Debug, Clone)]
+pub struct MatviewReport {
+    /// Rows in the base `emp` table the view aggregates.
+    pub base_rows: u64,
+    /// Rows in the view extent (one per department).
+    pub extent_rows: u64,
+    /// Inlined aggregation over base data, no extent available.
+    pub cold_ms: f64,
+    /// Same query answered from the extent access path.
+    pub materialized_ms: f64,
+    /// `cold_ms / materialized_ms`.
+    pub speedup: f64,
+    /// From-scratch `REFRESH MATERIALIZED VIEW` rebuild.
+    pub refresh_ms: f64,
+    /// Staleness recovery: refresh then answer the query.
+    pub stale_then_refreshed_ms: f64,
+    /// Extent after incremental `INSERT` maintenance equals the extent
+    /// after a from-scratch refresh over the same base data.
+    pub incremental_matches_refresh: bool,
+}
+
 /// Current serial kernel vs. the clone-key baseline it replaced.
 #[derive(Debug, Clone)]
 pub struct KernelReport {
@@ -92,6 +120,7 @@ pub struct ExecBenchReport {
     pub repeats: usize,
     pub workloads: Vec<WorkloadReport>,
     pub serial_kernels: Vec<KernelReport>,
+    pub matview: MatviewReport,
     /// Plans run through the static integrity analyzer before execution.
     pub plans_checked: u64,
     /// Plans the analyzer accepted. The run aborts on the first
@@ -333,6 +362,8 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
         group_kernel_report(&emp_rows, repeats)?,
     ];
 
+    let matview = matview_report(scale, repeats)?;
+
     Ok(ExecBenchReport {
         host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         threads,
@@ -340,9 +371,97 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
         repeats,
         workloads,
         serial_kernels,
+        matview,
         plans_checked,
         plans_passed,
     })
+}
+
+/// Measure the materialized-view trajectory on a per-department salary
+/// aggregate: cold (inlined), hot (extent access path — the bench
+/// fails if the optimizer does not pick it, since on this data the
+/// extent is strictly cheaper), and stale-then-refreshed recovery.
+fn matview_report(scale: usize, repeats: usize) -> Result<MatviewReport> {
+    use aggview_sql::Session;
+
+    let mut s = Session::new(gen_empdept(&EmpDeptConfig {
+        n_depts: 200,
+        emps_per_dept: 100 * scale,
+        young_fraction: 0.1,
+        low_budget_fraction: 0.3,
+        seed: 12,
+    })?);
+    // Serial execution on both sides: the section isolates the
+    // access-path difference, not thread scaling.
+    s.exec = ExecOptions::with_threads(1);
+    let query = "select dno, sum(sal), count(*) from emp group by dno";
+    let base_rows = s.catalog().get("emp")?.len() as u64;
+
+    let (cold_ms, cold) = time_best(repeats, || s.execute(query))?;
+
+    s.execute(
+        "create materialized view dsal(dno, total, n) as \
+         select dno, sum(sal), count(*) from emp group by dno",
+    )?;
+    let extent_rows = s.catalog().get("__mv_dsal")?.len() as u64;
+    let (materialized_ms, hot) = time_best(repeats, || s.execute(query))?;
+    if !hot.plan.contains("ExtentScan") {
+        return Err(AggViewError::PlanInvalid(format!(
+            "bench matview workload: extent not chosen:\n{}",
+            hot.plan
+        )));
+    }
+    if sorted(&cold.rows) != sorted(&hot.rows) {
+        return Err(AggViewError::PlanInvalid(
+            "bench matview workload: extent rows diverge from inlined rows".into(),
+        ));
+    }
+
+    // Incremental INSERT maintenance must land on the same extent a
+    // from-scratch rebuild produces.
+    s.execute("insert into emp values (900001, 'pat', 0, 1234.5, 25)")?;
+    let incremental = sorted(s.catalog().get("__mv_dsal")?.rows());
+    let (refresh_ms, _) = time_best(repeats, || s.execute("refresh materialized view dsal"))?;
+    let rebuilt = sorted(s.catalog().get("__mv_dsal")?.rows());
+    let incremental_matches_refresh = incremental == rebuilt;
+
+    // Staleness recovery: a maintenance-bypassing append invalidates
+    // the extent; measure refresh + answer. Each repeat appends a
+    // distinct key (eno is emp's primary key).
+    let mut next_eno = 900_002i64;
+    let (stale_then_refreshed_ms, _) = time_best(repeats, || {
+        let eno = next_eno;
+        next_eno += 1;
+        s.catalog().append_rows(
+            "emp",
+            vec![Tuple::new(vec![
+                Value::Int(eno),
+                Value::str("kim"),
+                Value::Int(1),
+                Value::Float(800.0),
+                Value::Int(40),
+            ])],
+        )?;
+        s.execute("refresh materialized view dsal")?;
+        s.execute(query)
+    })?;
+
+    Ok(MatviewReport {
+        base_rows,
+        extent_rows,
+        cold_ms,
+        materialized_ms,
+        speedup: cold_ms / materialized_ms.max(1e-9),
+        refresh_ms,
+        stale_then_refreshed_ms,
+        incremental_matches_refresh,
+    })
+}
+
+fn sorted(rows: &[Tuple]) -> Vec<Tuple> {
+    let mut v = rows.to_vec();
+    v.sort();
+    v
 }
 
 /// Total base-table rows feeding a query (each relation occurrence
@@ -642,6 +761,21 @@ impl ExecBenchReport {
             ));
         }
         s.push_str("  ],\n");
+        let m = &self.matview;
+        s.push_str(&format!(
+            "  \"matview\": {{\"base_rows\": {}, \"extent_rows\": {}, \
+             \"cold_ms\": {}, \"materialized_ms\": {}, \"speedup\": {}, \
+             \"refresh_ms\": {}, \"stale_then_refreshed_ms\": {}, \
+             \"incremental_matches_refresh\": {}}},\n",
+            m.base_rows,
+            m.extent_rows,
+            num(m.cold_ms),
+            num(m.materialized_ms),
+            num(m.speedup),
+            num(m.refresh_ms),
+            num(m.stale_then_refreshed_ms),
+            m.incremental_matches_refresh,
+        ));
         s.push_str("  \"serial_kernels\": [\n");
         for (i, k) in self.serial_kernels.iter().enumerate() {
             s.push_str(&format!(
@@ -695,6 +829,20 @@ impl ExecBenchReport {
                 k.name, k.input_rows, k.legacy_clone_key_ms, k.current_ms, k.improvement
             ));
         }
+        let m = &self.matview;
+        s.push_str(&format!(
+            "matview ({} base rows -> {} extent rows): cold {:.2} ms, \
+             materialized {:.2} ms ({:.2}x), refresh {:.2} ms, \
+             stale+refresh+answer {:.2} ms, incremental == refresh: {}\n",
+            m.base_rows,
+            m.extent_rows,
+            m.cold_ms,
+            m.materialized_ms,
+            m.speedup,
+            m.refresh_ms,
+            m.stale_then_refreshed_ms,
+            m.incremental_matches_refresh
+        ));
         s
     }
 }
@@ -735,8 +883,14 @@ mod tests {
         }
         assert_eq!(report.plans_checked, 6, "every workload plan analyzed");
         assert_eq!(report.plans_passed, 6, "every workload plan accepted");
+        assert!(report.matview.speedup > 0.0);
+        assert!(
+            report.matview.incremental_matches_refresh,
+            "incremental maintenance must reproduce the rebuilt extent"
+        );
         let json = report.to_json();
         assert!(json.contains("\"plans_passed\": 6"));
+        assert!(json.contains("\"incremental_matches_refresh\": true"));
         assert!(json.contains("\"e8_groupby\""));
         assert!(json.contains("\"serial_kernels\""));
         // Trailing-comma-free JSON: no ",\n  ]" sequences.

@@ -56,6 +56,7 @@ impl Variant {
                 pull_up: PullUpLevel::Unlimited,
                 push_down: false,
                 require_shared_predicate: true,
+                use_matviews: true,
             },
             Variant::Full => OptimizerConfig::default(),
         }

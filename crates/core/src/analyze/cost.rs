@@ -46,7 +46,7 @@ fn props_checked(
     out: &mut Vec<Violation>,
 ) -> Option<PlanProps> {
     let children: Vec<PlanProps> = match plan {
-        Plan::Scan { .. } => Vec::new(),
+        Plan::Scan { .. } | Plan::ExtentScan { .. } => Vec::new(),
         Plan::Join { left, right, .. } => {
             let l = props_checked(left, est, catalog, out);
             let r = props_checked(right, est, catalog, out);
@@ -102,6 +102,21 @@ fn props_checked(
                         out,
                         format!(
                             "scan of {rel} estimates {:.1} rows but `{table}` holds {rows}",
+                            props.card
+                        ),
+                    );
+                }
+            }
+        }
+        Plan::ExtentScan { view, table, .. } => {
+            if let Ok(t) = catalog.get(table) {
+                let rows = t.len() as f64;
+                if props.card > rows + EPS {
+                    push(
+                        out,
+                        format!(
+                            "extent scan of `{view}` estimates {:.1} rows but `{table}` \
+                             holds {rows}",
                             props.card
                         ),
                     );

@@ -42,8 +42,8 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Stable rule identifier (`schema`, `pull-up-key`,
-    /// `invariant-grouping`, `coalescing-merge`, `degraded-shape`,
-    /// `cost-sanity`).
+    /// `invariant-grouping`, `coalescing-merge`, `matview-extent`,
+    /// `degraded-shape`, `cost-sanity`).
     pub rule: &'static str,
     /// Human-readable description of the violated invariant.
     pub message: String,
@@ -164,6 +164,7 @@ impl<'a> PlanAnalyzer<'a> {
         }
         rules::check_invariant_grouping(plan, self.catalog, &mut violations);
         rules::check_coalescing(plan, &mut violations);
+        rules::check_matview(plan, self.catalog, &mut violations);
         if let (Some(model), Some(env)) = (self.model, self.env) {
             cost::check(plan, model, self.catalog, env, &mut violations);
         }

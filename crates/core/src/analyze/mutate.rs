@@ -57,7 +57,7 @@ fn map_first(plan: &Plan, f: &mut impl FnMut(&Plan) -> Option<Plan>) -> Option<P
         return Some(p);
     }
     match plan {
-        Plan::Scan { .. } => None,
+        Plan::Scan { .. } | Plan::ExtentScan { .. } => None,
         Plan::Join {
             algo,
             left,

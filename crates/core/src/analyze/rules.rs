@@ -23,13 +23,14 @@ use crate::plan::{GroupBySpec, Plan};
 use crate::query::CanonicalQuery;
 use crate::transform::props::{is_fk_join_into, output_key};
 use aggview_common::{Col, RelId, ViewId};
-use aggview_storage::Catalog;
+use aggview_storage::{stores_partial_state, Catalog};
 use std::collections::BTreeSet;
 
 pub(crate) const RULE_PULLUP: &str = "pull-up-key";
 pub(crate) const RULE_INVARIANT: &str = "invariant-grouping";
 pub(crate) const RULE_COALESCE: &str = "coalescing-merge";
 pub(crate) const RULE_DEGRADED: &str = "degraded-shape";
+pub(crate) const RULE_MATVIEW: &str = "matview-extent";
 
 // ---------------------------------------------------------------------
 // Pull-up key rule (Definition 1).
@@ -150,7 +151,9 @@ pub(crate) fn check_invariant_grouping(plan: &Plan, catalog: &Catalog, out: &mut
 /// point and has not been re-aggregated since.
 fn exposes_top_group(plan: &Plan) -> bool {
     match plan {
-        Plan::Scan { .. } => false,
+        // An extent scan exposes finalized *view* aggregates; the top
+        // group-by (when matched at all) sits above it as compensation.
+        Plan::Scan { .. } | Plan::ExtentScan { .. } => false,
         Plan::Join { left, right, .. } => exposes_top_group(left) || exposes_top_group(right),
         Plan::GroupBy { spec, .. } => spec.owner == ViewId::Top,
         Plan::PartialGroupBy { input, .. } => exposes_top_group(input),
@@ -172,6 +175,18 @@ pub(crate) fn check_coalescing(plan: &Plan, out: &mut Vec<Violation>) {
 fn coalescing_walk<'p>(plan: &'p Plan, nearest: Option<&'p GroupBySpec>, out: &mut Vec<Violation>) {
     match plan {
         Plan::Scan { .. } => {}
+        Plan::ExtentScan { outputs, .. } => {
+            // Stored partial states must be coalesced by a group-by above,
+            // exactly like the output of a partial group-by.
+            if nearest.is_none() && outputs.iter().any(|c| matches!(c, Col::Part(_))) {
+                out.push(Violation::new(
+                    RULE_COALESCE,
+                    "extent scan exposes stored partial aggregate states but no group-by \
+                     above coalesces them (Figure 2)"
+                        .into(),
+                ));
+            }
+        }
         Plan::Join { left, right, .. } => {
             coalescing_walk(left, nearest, out);
             coalescing_walk(right, nearest, out);
@@ -230,6 +245,81 @@ fn coalescing_walk<'p>(plan: &'p Plan, nearest: Option<&'p GroupBySpec>, out: &m
             coalescing_walk(input, nearest, out);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Materialized-view extent scans.
+// ---------------------------------------------------------------------
+
+/// Check every extent scan against the catalog's materialized-view
+/// registry: the view must be registered, the scan must read the view's
+/// extent table, every physical-to-logical column mapping must agree
+/// with the extent layout (base column at a key position, finalized
+/// aggregate at a finalized position, partial component at the matching
+/// component position of a state-storing aggregate), and the extent
+/// must be fresh — a rewrite over a stale extent would silently return
+/// pre-modification data.
+pub(crate) fn check_matview(plan: &Plan, catalog: &Catalog, out: &mut Vec<Violation>) {
+    walk(plan, &mut |node| {
+        let Plan::ExtentScan {
+            view,
+            table,
+            cols,
+            outputs,
+            ..
+        } = node
+        else {
+            return;
+        };
+        let Some(meta) = catalog.matview(view) else {
+            out.push(Violation::new(
+                RULE_MATVIEW,
+                format!("extent scan references unregistered materialized view `{view}`"),
+            ));
+            return;
+        };
+        if !meta.extent.eq_ignore_ascii_case(table) {
+            out.push(Violation::new(
+                RULE_MATVIEW,
+                format!(
+                    "extent scan of `{view}` reads `{table}` but the view's extent is `{}`",
+                    meta.extent
+                ),
+            ));
+        }
+        if meta.is_stale(catalog) {
+            out.push(Violation::new(
+                RULE_MATVIEW,
+                format!(
+                    "extent of `{view}` is stale: base data changed since its last build \
+                     or refresh"
+                ),
+            ));
+        }
+        for (&c, o) in cols.iter().zip(outputs) {
+            let ok = match o {
+                Col::Base(_) => c < meta.layout.key_cols,
+                Col::Agg(_) => meta.layout.aggs.iter().any(|a| a.finalized == c),
+                Col::Part(p) => meta.layout.aggs.iter().enumerate().any(|(j, a)| {
+                    a.components.get(p.part as usize) == Some(&c)
+                        && meta
+                            .def
+                            .aggs
+                            .get(j)
+                            .is_some_and(|spec| stores_partial_state(spec.func))
+                }),
+            };
+            if !ok {
+                out.push(Violation::new(
+                    RULE_MATVIEW,
+                    format!(
+                        "extent scan of `{view}` maps physical column {c} to {o}, which \
+                         does not agree with the extent layout"
+                    ),
+                ));
+            }
+        }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -302,7 +392,7 @@ pub(crate) fn check_degraded_shape(plan: &Plan, query: &CanonicalQuery, out: &mu
 fn walk<'p>(plan: &'p Plan, f: &mut impl FnMut(&'p Plan)) {
     f(plan);
     match plan {
-        Plan::Scan { .. } => {}
+        Plan::Scan { .. } | Plan::ExtentScan { .. } => {}
         Plan::Join { left, right, .. } => {
             walk(left, f);
             walk(right, f);
@@ -329,7 +419,7 @@ impl EquivClasses {
         let mut pairs = Vec::new();
         walk(plan, &mut |node| {
             let preds = match node {
-                Plan::Scan { filters, .. } => filters.as_slice(),
+                Plan::Scan { filters, .. } | Plan::ExtentScan { filters, .. } => filters.as_slice(),
                 Plan::Join { preds, .. } => preds.as_slice(),
                 Plan::GroupBy { .. } | Plan::PartialGroupBy { .. } => &[],
             };

@@ -79,6 +79,54 @@ fn typed_cols(
             }
             project_types(project, &avail, &format!("scan of {rel}"), out)
         }
+        Plan::ExtentScan {
+            view,
+            table,
+            cols,
+            outputs,
+            filters,
+            project,
+            ..
+        } => {
+            let who = format!("extent scan of `{view}`");
+            let t = match catalog.get(table) {
+                Ok(t) => t,
+                Err(e) => {
+                    push(out, format!("{who}: {}", e.message()));
+                    return None;
+                }
+            };
+            if cols.len() != outputs.len() {
+                push(
+                    out,
+                    format!(
+                        "{who} maps {} physical columns to {} outputs",
+                        cols.len(),
+                        outputs.len()
+                    ),
+                );
+                return None;
+            }
+            let mut avail = TypeMap::new();
+            for (&c, &o) in cols.iter().zip(outputs) {
+                match t.schema().fields().get(c) {
+                    Some(f) => {
+                        avail.insert(o, f.ty);
+                    }
+                    None => push(
+                        out,
+                        format!(
+                            "{who} reads column {c} of the {}-column extent `{table}`",
+                            t.schema().len()
+                        ),
+                    ),
+                }
+            }
+            for p in filters {
+                check_predicate(p, &avail, &format!("extent-scan filter on `{view}`"), out);
+            }
+            project_types(project, &avail, &who, out)
+        }
         Plan::Join {
             left,
             right,

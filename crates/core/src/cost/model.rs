@@ -88,8 +88,12 @@ impl<'a> CardEstimator<'a> {
 
     fn table_stats(&self, c: ColRef) -> Option<(aggview_storage::TableStats, usize)> {
         let name = self.env.table_of(c.rel).ok()?;
-        let t = self.catalog.get(name).ok()?;
-        Some((t.stats().clone(), c.col as usize))
+        debug_assert!(
+            self.catalog.stats_fresh(name),
+            "cost model read stale statistics for `{name}` (data changed without re-analyze)"
+        );
+        let stats = self.catalog.stats_of(name).ok()?;
+        Some((stats, c.col as usize))
     }
 
     /// Selectivity of a predicate, given per-side distinct maps (used for
@@ -152,6 +156,10 @@ impl<'a> CardEstimator<'a> {
                 project,
             } => {
                 let t = self.catalog.get(table)?;
+                debug_assert!(
+                    self.catalog.stats_fresh(table),
+                    "cost model read stale statistics for `{table}`"
+                );
                 let stats = t.stats();
                 let table_pages = self
                     .model
@@ -330,6 +338,69 @@ impl<'a> CardEstimator<'a> {
                 Ok(PlanProps {
                     cost: i.cost + extra,
                     card: groups,
+                    width,
+                    distinct,
+                })
+            }
+            Plan::ExtentScan {
+                table,
+                cols,
+                outputs,
+                filters,
+                project,
+                ..
+            } => {
+                // Priced exactly like a base-table scan of the extent: the
+                // materialized row count, widths and distinct counts come
+                // from the extent table's own statistics, exposed under
+                // the logical identities the scan maps them to.
+                let t = self.catalog.get(table)?;
+                debug_assert!(
+                    self.catalog.stats_fresh(table),
+                    "cost model read stale statistics for extent `{table}`"
+                );
+                let stats = t.stats();
+                let table_pages = self
+                    .model
+                    .page
+                    .pages_for(stats.rows as f64, stats.row_width.max(1.0));
+                let mut distinct: BTreeMap<Col, f64> = cols
+                    .iter()
+                    .zip(outputs)
+                    .map(|(&c, &o)| {
+                        (
+                            o,
+                            stats
+                                .columns
+                                .get(c)
+                                .map(|s| s.distinct as f64)
+                                .unwrap_or(1.0),
+                        )
+                    })
+                    .collect();
+                let mut card = stats.rows as f64;
+                for f in filters {
+                    card *= self.pred_selectivity(f, &distinct);
+                }
+                card = card.max(0.0);
+                for d in distinct.values_mut() {
+                    *d = d.min(card.max(1.0));
+                }
+                let width: f64 = project
+                    .iter()
+                    .map(|p| {
+                        outputs
+                            .iter()
+                            .position(|o| o == p)
+                            .and_then(|i| stats.columns.get(cols[i]))
+                            .map(|s| s.avg_width)
+                            .unwrap_or(8.0)
+                    })
+                    .sum();
+                distinct.retain(|c, _| project.contains(c));
+                Ok(PlanProps {
+                    cost: ops::scan_io(table_pages),
+                    card,
                     width,
                     distinct,
                 })

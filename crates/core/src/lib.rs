@@ -24,6 +24,9 @@
 //!   (Section 5.4), the traditional two-phase baseline, and search-space
 //!   accounting with the paper's practical restrictions (k-level pull-up,
 //!   predicate-connectivity gating),
+//! * [`matview`] — matching query blocks against materialized
+//!   aggregate-view extents (finalized rows or Figure 2 partial states),
+//!   enumerated as additional costed access paths,
 //! * [`analyze`] — the static plan-integrity analyzer: a typed schema
 //!   pass plus machine-checked forms of the transformation invariants
 //!   above (Definition 1's key rule, the invariant-grouping key-join
@@ -35,6 +38,7 @@
 pub mod analyze;
 pub mod cost;
 pub mod governor;
+pub mod matview;
 pub mod optimizer;
 pub mod plan;
 pub mod query;

@@ -173,7 +173,19 @@ pub fn optimize_block_governed(
     let entry = memo
         .remove(&full)
         .ok_or_else(|| AggViewError::Optimize("block enumeration failed".into()))?;
-    finish(&ctx, entry, stats)
+    let entry = finish(&ctx, entry, stats)?;
+
+    // Materialized extents are one more costed access path for the
+    // whole block: take the extent plan only when strictly cheaper, so
+    // the never-worse guarantee carries over unchanged.
+    if config.use_matviews {
+        if let Some(alt) = crate::matview::best_extent_entry(q, est, catalog, stats, gov)? {
+            if alt.props.cost < entry.props.cost {
+                return Ok(alt);
+            }
+        }
+    }
+    Ok(entry)
 }
 
 struct Ctx<'a, 'b> {

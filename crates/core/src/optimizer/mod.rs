@@ -67,6 +67,11 @@ pub struct OptimizerConfig {
     /// with the view ("we do not pull-up a relation through a view
     /// unless they share a predicate").
     pub require_shared_predicate: bool,
+    /// Consider materialized-view extents as additional access paths
+    /// during block enumeration (cost-based: an extent scan is chosen
+    /// only when cheaper than the best inlined plan, so the never-worse
+    /// guarantee is preserved).
+    pub use_matviews: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -75,17 +80,20 @@ impl Default for OptimizerConfig {
             pull_up: PullUpLevel::Unlimited,
             push_down: true,
             require_shared_predicate: true,
+            use_matviews: true,
         }
     }
 }
 
 impl OptimizerConfig {
-    /// The traditional optimizer: no pull-up, no push-down.
+    /// The traditional optimizer: no pull-up, no push-down, no
+    /// materialized extents.
     pub fn traditional() -> Self {
         OptimizerConfig {
             pull_up: PullUpLevel::Disabled,
             push_down: false,
             require_shared_predicate: true,
+            use_matviews: false,
         }
     }
 
@@ -96,6 +104,7 @@ impl OptimizerConfig {
             pull_up: PullUpLevel::Disabled,
             push_down: true,
             require_shared_predicate: true,
+            use_matviews: true,
         }
     }
 }

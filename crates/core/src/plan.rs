@@ -184,6 +184,30 @@ pub enum Plan {
         /// Output columns (grouping columns and partial-state columns).
         project: Vec<Col>,
     },
+    /// Scan a materialized aggregate-view extent in place of the view's
+    /// body (scans + joins + group-by over `covers`). Leaf node: the
+    /// extent table stores one row per group, with physical column
+    /// `cols[i]` exposed under the logical identity `outputs[i]` — a
+    /// `Col::Base` for a group column, `Col::Agg` for a finalized
+    /// aggregate, or `Col::Part` for a stored partial-state component
+    /// (consumed by a compensating coalescing group-by above).
+    ExtentScan {
+        /// Materialized view name (registered in the catalog).
+        view: String,
+        /// Extent table name (resolved through the catalog).
+        table: String,
+        /// Base relation instances of the query this extent stands for.
+        covers: Vec<RelId>,
+        /// Physical column positions read from the extent table.
+        cols: Vec<usize>,
+        /// Logical identity of each read column, parallel to `cols`.
+        outputs: Vec<Col>,
+        /// Compensating predicates over `outputs` (residual selections
+        /// and, for exact-grouping matches, HAVING compensation).
+        filters: Vec<Predicate>,
+        /// Output columns (subset of `outputs`).
+        project: Vec<Col>,
+    },
 }
 
 impl Plan {
@@ -254,13 +278,36 @@ impl Plan {
         }
     }
 
+    /// Scan of a materialized-view extent with explicit column mapping.
+    #[allow(clippy::too_many_arguments)]
+    pub fn extent_scan(
+        view: impl Into<String>,
+        table: impl Into<String>,
+        covers: Vec<RelId>,
+        cols: Vec<usize>,
+        outputs: Vec<Col>,
+        filters: Vec<Predicate>,
+        project: Vec<Col>,
+    ) -> Plan {
+        Plan::ExtentScan {
+            view: view.into(),
+            table: table.into(),
+            covers,
+            cols,
+            outputs,
+            filters,
+            project,
+        }
+    }
+
     /// This node's output layout.
     pub fn output_cols(&self) -> &[Col] {
         match self {
             Plan::Scan { project, .. }
             | Plan::Join { project, .. }
             | Plan::GroupBy { project, .. }
-            | Plan::PartialGroupBy { project, .. } => project,
+            | Plan::PartialGroupBy { project, .. }
+            | Plan::ExtentScan { project, .. } => project,
         }
     }
 
@@ -271,7 +318,8 @@ impl Plan {
             Plan::Scan { project, .. }
             | Plan::Join { project, .. }
             | Plan::GroupBy { project, .. }
-            | Plan::PartialGroupBy { project, .. } => *project = new_project,
+            | Plan::PartialGroupBy { project, .. }
+            | Plan::ExtentScan { project, .. } => *project = new_project,
         }
         self
     }
@@ -282,6 +330,7 @@ impl Plan {
             Plan::Scan { rel, .. } => rel.bit(),
             Plan::Join { left, right, .. } => left.rel_set() | right.rel_set(),
             Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => input.rel_set(),
+            Plan::ExtentScan { covers, .. } => covers.iter().fold(0, |s, r| s | r.bit()),
         }
     }
 
@@ -294,7 +343,7 @@ impl Plan {
     /// Number of group-by operators (full or partial) in the tree.
     pub fn group_by_count(&self) -> usize {
         match self {
-            Plan::Scan { .. } => 0,
+            Plan::Scan { .. } | Plan::ExtentScan { .. } => 0,
             Plan::Join { left, right, .. } => left.group_by_count() + right.group_by_count(),
             Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => {
                 1 + input.group_by_count()
@@ -305,7 +354,7 @@ impl Plan {
     /// Number of join operators in the tree.
     pub fn join_count(&self) -> usize {
         match self {
-            Plan::Scan { .. } => 0,
+            Plan::Scan { .. } | Plan::ExtentScan { .. } => 0,
             Plan::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
             Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => input.join_count(),
         }
@@ -491,6 +540,51 @@ impl Plan {
                 }
                 Ok(project.iter().copied().collect())
             }
+            Plan::ExtentScan {
+                view,
+                table,
+                covers,
+                cols,
+                outputs,
+                filters,
+                project,
+            } => {
+                let t = catalog.get(table)?;
+                if covers.is_empty() {
+                    return Err(AggViewError::Plan(format!(
+                        "extent scan of `{view}` covers no relations"
+                    )));
+                }
+                if cols.len() != outputs.len() {
+                    return Err(AggViewError::Plan(format!(
+                        "extent scan of `{view}` maps {} physical columns to {} outputs",
+                        cols.len(),
+                        outputs.len()
+                    )));
+                }
+                let arity = t.schema().len();
+                if let Some(&c) = cols.iter().find(|&&c| c >= arity) {
+                    return Err(AggViewError::Plan(format!(
+                        "extent scan of `{view}` reads column {c} of {arity}-column extent"
+                    )));
+                }
+                let avail: BTreeSet<Col> = outputs.iter().copied().collect();
+                for p in filters {
+                    if !p.cols_used().iter().all(|c| avail.contains(c)) {
+                        return Err(AggViewError::Plan(format!(
+                            "extent-scan filter `{p}` references columns the extent \
+                             of `{view}` does not expose"
+                        )));
+                    }
+                }
+                let out: BTreeSet<Col> = project.iter().copied().collect();
+                if !out.iter().all(|c| avail.contains(c)) {
+                    return Err(AggViewError::Plan(format!(
+                        "extent scan of `{view}` projects columns it does not produce"
+                    )));
+                }
+                Ok(out)
+            }
         }
     }
 
@@ -566,6 +660,25 @@ impl Plan {
                     aggs.join(", ")
                 );
                 input.explain_into(out, depth + 1);
+            }
+            Plan::ExtentScan {
+                view,
+                table,
+                covers,
+                filters,
+                ..
+            } => {
+                let rs: Vec<String> = covers.iter().map(|r| r.to_string()).collect();
+                let _ = write!(
+                    out,
+                    "{pad}ExtentScan {table} (matview {view}) covers [{}]",
+                    rs.join(", ")
+                );
+                if !filters.is_empty() {
+                    let fs: Vec<String> = filters.iter().map(|p| p.to_string()).collect();
+                    let _ = write!(out, " filter [{}]", fs.join(" AND "));
+                }
+                let _ = writeln!(out);
             }
         }
     }

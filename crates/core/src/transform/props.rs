@@ -45,6 +45,32 @@ pub fn output_key(plan: &Plan, catalog: &Catalog) -> Result<Option<Vec<Col>>> {
         }
         Plan::GroupBy { spec, .. } => Some(spec.group_cols.clone()),
         Plan::PartialGroupBy { spec, .. } => Some(spec.group_cols.clone()),
+        Plan::ExtentScan {
+            table,
+            cols,
+            outputs,
+            ..
+        } => {
+            // The extent table's primary key is the view's group columns;
+            // expose it under the logical identities this scan maps them
+            // to, provided every key column is read.
+            let t = catalog.get(table)?;
+            match t.primary_key() {
+                Some(pk) => {
+                    let mapped: Vec<Option<Col>> = pk
+                        .cols
+                        .iter()
+                        .map(|k| cols.iter().position(|c| c == k).map(|i| outputs[i]))
+                        .collect();
+                    if mapped.iter().all(Option::is_some) {
+                        Some(mapped.into_iter().flatten().collect())
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            }
+        }
     };
     Ok(key.filter(|k| k.iter().all(|c| out.contains(c))))
 }

@@ -180,7 +180,64 @@ impl<'a> Engine<'a> {
                 spec,
                 project,
             } => self.exec_partial_group_by(*algo, input, spec, project, ctx),
+            Plan::ExtentScan {
+                view,
+                table,
+                cols,
+                outputs,
+                filters,
+                project,
+                ..
+            } => self.exec_extent_scan(view, table, cols, outputs, filters, project, ctx),
         }
+    }
+
+    /// Scan a materialized-view extent: read the extent table like a
+    /// base table, but expose each physical column under the logical
+    /// identity the matcher assigned it (group column, finalized
+    /// aggregate, or stored partial-state component).
+    #[allow(clippy::too_many_arguments)]
+    fn exec_extent_scan(
+        &self,
+        view: &str,
+        table: &str,
+        cols: &[usize],
+        outputs: &[Col],
+        filters: &[Predicate],
+        project: &[Col],
+        ctx: &mut ExecCtx<'_>,
+    ) -> Result<(Vec<Col>, Vec<Tuple>)> {
+        ctx.gov.check_interrupt()?;
+        maybe_fault(ctx.faults, &format!("storage.scan.{table}"))?;
+        let t = self.catalog.get(table)?;
+        let bytes: usize = t.rows().iter().map(Tuple::width).sum();
+        let pages = self.model.page.pages_for_bytes(bytes as f64);
+        ctx.breakdown.push(IoBreakdown {
+            op: format!("extent-scan {table} (matview {view})"),
+            pages: ops::scan_io(pages),
+        });
+        // Logical identity `outputs[i]` lives at physical column `cols[i]`.
+        let layout: HashMap<Col, usize> = outputs
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (o, cols[i]))
+            .collect();
+        let bound: Vec<_> = filters
+            .iter()
+            .map(|p| p.bind(&|c| layout.get(&c).copied()))
+            .collect::<Result<_>>()?;
+        let positions: Vec<usize> = project
+            .iter()
+            .map(|c| {
+                layout.get(c).copied().ok_or_else(|| {
+                    AggViewError::Plan(format!("extent scan projects unmapped column {c}"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        let (rows, out_bytes) =
+            parallel::filter_project(&ctx.options, ctx.gov, t.rows(), &bound, &positions)?;
+        ctx.note_op_output(out_bytes);
+        Ok((project.to_vec(), rows))
     }
 
     fn exec_scan(

@@ -21,6 +21,10 @@
 //!   physical form of the paper's simple coalescing grouping). Thread
 //!   count and morsel size come from [`ExecOptions`]
 //!   (`AGGVIEW_THREADS`, REPL `.set threads N`);
+//! * [`matview`] — building and maintaining materialized aggregate-view
+//!   extents: full builds/refreshes through the governed engine, and
+//!   incremental insert maintenance that coalesces a delta into the
+//!   stored partial states via [`partition::GroupTable::merge_from`];
 //! * [`correlated`] — naive tuple-at-a-time evaluation of correlated
 //!   aggregate subqueries (Kim's type-JA shape), the baseline the
 //!   flattening pathway (experiment E7) is measured against;
@@ -31,6 +35,7 @@
 
 pub mod correlated;
 pub mod engine;
+pub mod matview;
 pub mod parallel;
 pub mod partition;
 pub mod verify;

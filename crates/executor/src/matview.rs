@@ -1,0 +1,464 @@
+//! Building and maintaining materialized aggregate-view extents.
+//!
+//! An extent is built by executing the view's pure SPJ plan (scans with
+//! local filters, left-deep joins) through the governed [`Engine`] —
+//! the build therefore passes the analyzer gate and is charged against
+//! the resource governor like any query — and folding the result rows
+//! into a [`GroupTable`]. Each finished group is stored as one extent
+//! row: grouping keys, then per aggregate the finalized value followed
+//! by its mergeable partial-state components (Figure 2 of the paper)
+//! when the function stores state.
+//!
+//! Incremental maintenance ([`apply_delta`]) runs the same SPJ plan
+//! over a *delta-substituted* catalog (the modified table replaced by a
+//! delta-only table, every other table untouched), reconstructs the
+//! extent's [`GroupTable`] from its stored partial states, and folds
+//! the delta in with [`GroupTable::merge_from`] — the exact coalescing
+//! merge the parallel executor uses. Views whose aggregates do not all
+//! store partial state (STDDEV), or that reference the modified table
+//! more than once (self-join delta algebra), fall back to a full
+//! rebuild ([`build_extent`], also the implementation of
+//! `REFRESH MATERIALIZED VIEW`).
+
+use crate::engine::{Engine, ResultSet};
+use crate::parallel::ExecOptions;
+use crate::partition::{AggInput, GroupTable};
+use aggview_common::{AggFunc, AggViewError, Col, Predicate, RelId, Result, Tuple};
+use aggview_core::cost::CostModel;
+use aggview_core::governor::ResourceGovernor;
+use aggview_core::plan::{all_cols, Plan};
+use aggview_core::query::QueryEnv;
+use aggview_storage::matview::extent_schema;
+use aggview_storage::{
+    stores_partial_state, Catalog, ExtentLayout, MatViewDef, MatViewMeta, Table,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Build (or fully rebuild) the extent of `def`: execute its SPJ plan,
+/// fold the rows into groups, store the extent table in the catalog
+/// (primary-keyed on the grouping columns) and register or update the
+/// view's metadata with the base tables' current data versions.
+/// Returns the number of extent rows.
+pub fn build_extent(
+    def: &MatViewDef,
+    catalog: &Catalog,
+    model: CostModel,
+    options: ExecOptions,
+    gov: &ResourceGovernor,
+) -> Result<usize> {
+    def.validate()?;
+    let versions: Vec<u64> = def.tables.iter().map(|t| catalog.data_version(t)).collect();
+    let plan = spj_plan(def, catalog)?;
+    let env = QueryEnv::new(def.tables.clone());
+    let engine = Engine::new(catalog, &env, model).with_options(options);
+    let rs = engine.execute_governed(&plan, gov, None)?;
+    let gt = fold(def, &rs)?;
+    let rows = rows_of(gt, def)?;
+    let n = rows.len();
+    let extent = materialize(def, catalog, rows)?;
+    catalog.add_or_replace(extent);
+    let meta = MatViewMeta {
+        def: def.clone(),
+        extent: MatViewMeta::extent_name(&def.name),
+        layout: ExtentLayout::of(def),
+        base_versions: versions,
+    };
+    if catalog.matview(&def.name).is_some() {
+        catalog.update_matview(meta);
+    } else {
+        catalog.register_matview(meta)?;
+    }
+    Ok(n)
+}
+
+/// `REFRESH MATERIALIZED VIEW`: rebuild a registered view's extent from
+/// scratch. Returns the number of extent rows.
+pub fn refresh(
+    view: &str,
+    catalog: &Catalog,
+    model: CostModel,
+    options: ExecOptions,
+    gov: &ResourceGovernor,
+) -> Result<usize> {
+    let meta = catalog
+        .matview(view)
+        .ok_or_else(|| AggViewError::Catalog(format!("unknown materialized view `{view}`")))?;
+    build_extent(&meta.def, catalog, model, options, gov)
+}
+
+/// Incrementally fold an insert delta on base `table` into the extent
+/// of `view`. Returns `Ok(false)` — extent untouched — when the view
+/// cannot be maintained incrementally (an aggregate stores no partial
+/// state, or the view references the modified table more than once);
+/// the caller falls back to [`build_extent`].
+///
+/// Must be called with every *other* base table unchanged since the
+/// extent was last built; the modified table itself may already hold
+/// the delta (its full contents are never read here).
+pub fn apply_delta(
+    view: &str,
+    table: &str,
+    delta: &[Tuple],
+    catalog: &Catalog,
+    model: CostModel,
+    options: ExecOptions,
+    gov: &ResourceGovernor,
+) -> Result<bool> {
+    let mut meta = catalog
+        .matview(view)
+        .ok_or_else(|| AggViewError::Catalog(format!("unknown materialized view `{view}`")))?;
+    let def = meta.def.clone();
+    let def = &def;
+    let occurrences = def
+        .tables
+        .iter()
+        .filter(|t| t.eq_ignore_ascii_case(table))
+        .count();
+    if occurrences != 1 || !def.aggs.iter().all(|a| stores_partial_state(a.func)) {
+        return Ok(false);
+    }
+
+    // Delta-substituted catalog: the modified table holds only the
+    // delta rows, every other base table is shared as-is.
+    let base = catalog.get(table)?;
+    let mut builder = Table::builder(base.name(), base.schema().clone());
+    for r in delta {
+        builder.push(r.clone())?;
+    }
+    let delta_table = builder.build()?;
+    let tmp = Catalog::new();
+    for name in &def.tables {
+        if name.eq_ignore_ascii_case(table) {
+            tmp.add_or_replace(Arc::clone(&delta_table));
+        } else {
+            tmp.add_or_replace(catalog.get(name)?);
+        }
+    }
+    let plan = spj_plan(def, &tmp)?;
+    let env = QueryEnv::new(def.tables.clone());
+    let engine = Engine::new(&tmp, &env, model).with_options(options);
+    let rs = engine.execute_governed(&plan, gov, None)?;
+    let delta_gt = fold(def, &rs)?;
+
+    // Reconstruct the extent's group table from its stored partial
+    // states, then coalesce the delta groups in.
+    let extent = catalog.get(&meta.extent)?;
+    let key_pos: Vec<usize> = (0..meta.layout.key_cols).collect();
+    let inputs: Vec<AggInput> = meta
+        .layout
+        .aggs
+        .iter()
+        .map(|a| AggInput::Partial(a.components.clone()))
+        .collect();
+    let funcs: Vec<AggFunc> = def.aggs.iter().map(|a| a.func).collect();
+    let mut gt = GroupTable::new();
+    for r in extent.rows() {
+        gov.charge_rows(1)?;
+        gt.accumulate(r, &key_pos, &inputs, &funcs)?;
+    }
+    gt.merge_from(delta_gt)?;
+
+    let rows = rows_of(gt, def)?;
+    let rebuilt = materialize(def, catalog, rows)?;
+    catalog.add_or_replace(rebuilt);
+    meta.base_versions = def.tables.iter().map(|t| catalog.data_version(t)).collect();
+    catalog.update_matview(meta);
+    Ok(true)
+}
+
+/// Maintain every registered view that references `table` after an
+/// insert of `delta` rows (already applied to the base table):
+/// incremental merge where possible, full rebuild otherwise. Returns
+/// the names of the views maintained.
+pub fn maintain_after_insert(
+    table: &str,
+    delta: &[Tuple],
+    catalog: &Catalog,
+    model: CostModel,
+    options: ExecOptions,
+    gov: &ResourceGovernor,
+) -> Result<Vec<String>> {
+    let mut maintained = Vec::new();
+    for meta in catalog.matviews_on(table) {
+        let name = meta.def.name.clone();
+        if !apply_delta(&name, table, delta, catalog, model, options, gov)? {
+            build_extent(&meta.def, catalog, model, options, gov)?;
+        }
+        maintained.push(name);
+    }
+    Ok(maintained)
+}
+
+/// The view's pure SPJ plan in its local frame: one scan per table
+/// (single-relation predicates pushed down as filters), left-deep joins
+/// in declaration order, each multi-relation predicate attached to the
+/// first join where it becomes evaluable.
+fn spj_plan(def: &MatViewDef, catalog: &Catalog) -> Result<Plan> {
+    let arities: Vec<usize> = def
+        .tables
+        .iter()
+        .map(|t| catalog.get(t).map(|t| t.schema().len()))
+        .collect::<Result<_>>()?;
+    let mut local: Vec<Vec<Predicate>> = vec![Vec::new(); def.tables.len()];
+    let mut multi: Vec<Predicate> = Vec::new();
+    for p in &def.preds {
+        let rels: BTreeSet<RelId> = p
+            .cols_used()
+            .iter()
+            .filter_map(|c| match c {
+                Col::Base(b) => Some(b.rel),
+                _ => None,
+            })
+            .collect();
+        if rels.iter().any(|r| r.idx() >= def.tables.len()) {
+            return Err(AggViewError::Plan(format!(
+                "view `{}` predicate `{p}` references an undeclared relation",
+                def.name
+            )));
+        }
+        match rels.len() {
+            0 | 1 => local[rels.first().map_or(0, |r| r.idx())].push(p.clone()),
+            _ => multi.push(p.clone()),
+        }
+    }
+    let scan = |i: usize, filters: Vec<Predicate>| {
+        Plan::scan(
+            RelId(i as u32),
+            &def.tables[i],
+            filters,
+            all_cols(RelId(i as u32), arities[i]),
+        )
+    };
+    let mut plan = scan(0, std::mem::take(&mut local[0]));
+    let mut have: u64 = RelId(0).bit();
+    for (i, filters) in local.iter_mut().enumerate().skip(1) {
+        have |= RelId(i as u32).bit();
+        let (now, later): (Vec<Predicate>, Vec<Predicate>) = multi.into_iter().partition(|p| {
+            p.cols_used().iter().all(|c| match c {
+                Col::Base(b) => have & b.rel.bit() != 0,
+                _ => false,
+            })
+        });
+        multi = later;
+        plan = Plan::join_all(plan, scan(i, std::mem::take(filters)), now);
+    }
+    if let Some(p) = multi.first() {
+        return Err(AggViewError::Plan(format!(
+            "view `{}` predicate `{p}` is never evaluable over its declared tables",
+            def.name
+        )));
+    }
+    Ok(plan)
+}
+
+/// Fold the SPJ result into a [`GroupTable`] keyed on the view's
+/// grouping columns, with one raw-input aggregate state per aggregate.
+fn fold(def: &MatViewDef, rs: &ResultSet) -> Result<GroupTable> {
+    let key_pos: Vec<usize> = def
+        .group_cols
+        .iter()
+        .map(|&c| {
+            rs.col_index(c).ok_or_else(|| {
+                AggViewError::Exec(format!(
+                    "grouping column {c} missing from the view's result"
+                ))
+            })
+        })
+        .collect::<Result<_>>()?;
+    let mut inputs = Vec::with_capacity(def.aggs.len());
+    for a in &def.aggs {
+        match &a.arg {
+            Some(e) => inputs.push(AggInput::Raw(e.bind(&|c| rs.col_index(c))?)),
+            None => inputs.push(AggInput::RawCountStar),
+        }
+    }
+    let funcs: Vec<AggFunc> = def.aggs.iter().map(|a| a.func).collect();
+    let mut gt = GroupTable::new();
+    for r in &rs.rows {
+        gt.accumulate(r, &key_pos, &inputs, &funcs)?;
+    }
+    Ok(gt)
+}
+
+/// Render finished groups as extent rows: keys, then per aggregate the
+/// finalized value followed by the partial-state components of
+/// state-storing functions. Row width matches [`ExtentLayout::of`].
+fn rows_of(gt: GroupTable, def: &MatViewDef) -> Result<Vec<Tuple>> {
+    let mut out = Vec::with_capacity(gt.len());
+    for g in gt.groups {
+        let mut vals = g.key.into_values();
+        for (s, a) in g.states.iter().zip(&def.aggs) {
+            vals.push(s.finalize()?);
+            if stores_partial_state(a.func) {
+                vals.extend(s.components().iter().cloned());
+            }
+        }
+        out.push(Tuple::new(vals));
+    }
+    Ok(out)
+}
+
+/// Build the extent table: the schema from the base tables' types, a
+/// primary key on the grouping columns (group keys are unique by
+/// construction), and one row per group.
+fn materialize(def: &MatViewDef, catalog: &Catalog, rows: Vec<Tuple>) -> Result<Arc<Table>> {
+    let schema = extent_schema(def, catalog)?;
+    let mut builder = Table::builder(MatViewMeta::extent_name(&def.name), schema);
+    if !def.group_cols.is_empty() {
+        let keys: Vec<&str> = def.column_names[..def.group_cols.len()]
+            .iter()
+            .map(String::as_str)
+            .collect();
+        builder = builder.primary_key(&keys)?;
+    }
+    for r in rows {
+        builder.push(r)?;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_common::{AggSpec, CmpOp, Expr, Value};
+    use aggview_storage::datagen::{gen_empdept, EmpDeptConfig};
+
+    fn setup() -> Catalog {
+        gen_empdept(&EmpDeptConfig {
+            n_depts: 6,
+            emps_per_dept: 10,
+            young_fraction: 0.3,
+            low_budget_fraction: 0.5,
+            seed: 7,
+        })
+        .unwrap()
+    }
+
+    fn dept_sal_view() -> MatViewDef {
+        // SELECT dno, SUM(sal), COUNT(*) FROM emp WHERE age < 30 GROUP BY dno
+        // emp(eno, name, dno, sal, age)
+        MatViewDef {
+            name: "dsal".into(),
+            tables: vec!["emp".into()],
+            preds: vec![Predicate::cmp_const(
+                Col::base(RelId(0), 4),
+                CmpOp::Lt,
+                Value::Int(30),
+            )],
+            group_cols: vec![Col::base(RelId(0), 2)],
+            aggs: vec![
+                AggSpec::new(AggFunc::Sum, Expr::col(Col::base(RelId(0), 3))),
+                AggSpec::count_star(),
+            ],
+            column_names: vec!["dno".into(), "ssal".into(), "n".into()],
+        }
+    }
+
+    fn exec_env() -> (CostModel, ExecOptions, ResourceGovernor) {
+        (
+            CostModel::default(),
+            ExecOptions::default(),
+            ResourceGovernor::unlimited(),
+        )
+    }
+
+    #[test]
+    fn build_then_incremental_equals_refresh() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        let def = dept_sal_view();
+        let n = build_extent(&def, &cat, model, opts, &gov).unwrap();
+        assert!(n > 0);
+        assert!(!cat.matview("dsal").unwrap().is_stale(&cat));
+
+        // Insert two young employees into dept 0 and maintain.
+        let delta = vec![
+            Tuple::new(vec![
+                Value::Int(9001),
+                "pat".into(),
+                Value::Int(0),
+                Value::Float(1234.5),
+                Value::Int(25),
+            ]),
+            Tuple::new(vec![
+                Value::Int(9002),
+                "sam".into(),
+                Value::Int(0),
+                Value::Float(765.5),
+                Value::Int(40), // filtered out by age < 30
+            ]),
+        ];
+        cat.append_rows("emp", delta.clone()).unwrap();
+        assert!(cat.matview("dsal").unwrap().is_stale(&cat));
+        let did = apply_delta("dsal", "emp", &delta, &cat, model, opts, &gov).unwrap();
+        assert!(did);
+        assert!(!cat.matview("dsal").unwrap().is_stale(&cat));
+        let incremental = cat.get("__mv_dsal").unwrap();
+
+        // A from-scratch refresh over the same base data must agree.
+        refresh("dsal", &cat, model, opts, &gov).unwrap();
+        let rebuilt = cat.get("__mv_dsal").unwrap();
+        let mut a = incremental.rows().to_vec();
+        let mut b = rebuilt.rows().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stddev_views_refuse_incremental() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        let mut def = dept_sal_view();
+        def.name = "dstd".into();
+        def.aggs = vec![AggSpec::new(
+            AggFunc::StdDev,
+            Expr::col(Col::base(RelId(0), 3)),
+        )];
+        def.column_names = vec!["dno".into(), "sd".into()];
+        build_extent(&def, &cat, model, opts, &gov).unwrap();
+        let did = apply_delta("dstd", "emp", &[], &cat, model, opts, &gov).unwrap();
+        assert!(!did, "stddev stores no partial state");
+    }
+
+    #[test]
+    fn join_view_builds_and_maintains() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        // SELECT e.dno, AVG(sal) FROM emp e, dept d
+        // WHERE e.dno = d.dno GROUP BY e.dno
+        let def = MatViewDef {
+            name: "jv".into(),
+            tables: vec!["emp".into(), "dept".into()],
+            preds: vec![Predicate::eq_cols(
+                Col::base(RelId(0), 2),
+                Col::base(RelId(1), 0),
+            )],
+            group_cols: vec![Col::base(RelId(0), 2)],
+            aggs: vec![AggSpec::new(
+                AggFunc::Avg,
+                Expr::col(Col::base(RelId(0), 3)),
+            )],
+            column_names: vec!["dno".into(), "asal".into()],
+        };
+        let n = build_extent(&def, &cat, model, opts, &gov).unwrap();
+        assert_eq!(n, 6);
+        let delta = vec![Tuple::new(vec![
+            Value::Int(9100),
+            "lee".into(),
+            Value::Int(3),
+            Value::Float(500.0),
+            Value::Int(33),
+        ])];
+        cat.append_rows("emp", delta.clone()).unwrap();
+        assert!(
+            apply_delta("jv", "emp", &delta, &cat, model, opts, &gov).unwrap(),
+            "single-occurrence join views maintain incrementally"
+        );
+        refresh("jv", &cat, model, opts, &gov).unwrap();
+        // refresh after incremental: both paths already verified equal in
+        // build_then_incremental_equals_refresh; here we check freshness.
+        assert!(!cat.matview("jv").unwrap().is_stale(&cat));
+    }
+}

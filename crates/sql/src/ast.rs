@@ -149,6 +149,23 @@ pub enum Stmt {
         columns: Option<Vec<String>>,
         query: SelectStmt,
     },
+    /// `CREATE MATERIALIZED VIEW name[(col, ...)] AS select` — like a
+    /// view, but its extent is computed and stored in the catalog.
+    CreateMaterializedView {
+        name: String,
+        columns: Option<Vec<String>>,
+        query: SelectStmt,
+    },
+    /// `INSERT INTO table VALUES (lit, ...), ...` — literal rows only.
+    Insert {
+        table: String,
+        rows: Vec<Vec<AstExpr>>,
+    },
+    /// `REFRESH MATERIALIZED VIEW name` — rebuild the extent from
+    /// scratch.
+    RefreshMaterializedView {
+        name: String,
+    },
     /// `EXPLAIN VERIFY select` — optimize the query and run the static
     /// plan-integrity analyzer over the chosen plan, without executing.
     ExplainVerify(SelectStmt),

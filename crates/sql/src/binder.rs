@@ -18,7 +18,7 @@ use crate::ast::{AstExpr, AstPred, FromItem, SelectStmt};
 use crate::flatten::flatten_subquery;
 use aggview_common::{AggSpec, AggViewError, Col, Expr, Predicate, RelId, Result, ViewId};
 use aggview_core::query::{CanonicalQuery, QueryEnv, TopGroup, ViewDef};
-use aggview_storage::Catalog;
+use aggview_storage::{Catalog, MatViewDef};
 use std::collections::HashMap;
 
 /// A registered view definition (from `CREATE VIEW`).
@@ -564,6 +564,149 @@ pub(crate) fn resolve_col(qualifier: Option<&str>, name: &str, scopes: &[Scope])
 /// Is this SELECT an aggregate view body (group-by or aggregate items)?
 pub fn is_aggregate_view(q: &SelectStmt) -> bool {
     !q.group_by.is_empty() || q.items.iter().any(|i| i.expr.has_agg())
+}
+
+/// Bind a `CREATE MATERIALIZED VIEW` body to a self-contained
+/// [`MatViewDef`] over a local frame: relation `i` of the FROM list is
+/// `RelId(i)` and refers to base table `tables[i]`.
+///
+/// Materialized-view bodies are the paper's single-block aggregate
+/// views: base tables only, conjunctive WHERE, column GROUP BY, and a
+/// select list of grouping columns and aggregates (every grouping
+/// column must be selected — it becomes part of the extent's key).
+pub fn bind_matview(
+    name: &str,
+    columns: Option<&[String]>,
+    query: &SelectStmt,
+    catalog: &Catalog,
+    registry: &ViewRegistry,
+) -> Result<MatViewDef> {
+    if !query.having.is_empty() {
+        return Err(AggViewError::Bind(
+            "HAVING is not supported in materialized view bodies".into(),
+        ));
+    }
+    if !query.order_by.is_empty() || query.limit.is_some() {
+        return Err(AggViewError::Bind(
+            "ORDER BY / LIMIT are not supported in materialized view bodies".into(),
+        ));
+    }
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut tables: Vec<String> = Vec::new();
+    for (i, item) in query.from.iter().enumerate() {
+        if registry.get(&item.name).is_some() {
+            return Err(AggViewError::Bind(format!(
+                "materialized view bodies must reference base tables only \
+                 (found view `{}`)",
+                item.name
+            )));
+        }
+        let table = catalog.get(&item.name)?;
+        let rel = RelId(i as u32);
+        tables.push(table.name().to_string());
+        let outputs = table
+            .schema()
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(j, f)| (f.name.clone(), Col::base(rel, j)))
+            .collect();
+        scopes.push(Scope {
+            name: item.binding_name().to_ascii_lowercase(),
+            outputs,
+        });
+    }
+    let mut preds = Vec::new();
+    for p in &query.where_preds {
+        if p.left.has_subquery() || p.right.has_subquery() {
+            return Err(AggViewError::Bind(
+                "subqueries inside materialized view bodies are not supported".into(),
+            ));
+        }
+        preds.push(Predicate::new(
+            bind_scalar(&p.left, &scopes)?,
+            p.op,
+            bind_scalar(&p.right, &scopes)?,
+        ));
+    }
+    let mut group_cols = Vec::new();
+    for g in &query.group_by {
+        match bind_scalar(g, &scopes)? {
+            Expr::Col(c) => group_cols.push(c),
+            other => {
+                return Err(AggViewError::Bind(format!(
+                    "GROUP BY expression `{other}` must be a column"
+                )))
+            }
+        }
+    }
+    // Select list: grouping columns (named) and aggregates, in any
+    // order; the extent stores keys first, so names are reassembled in
+    // (group columns, aggregates) order.
+    let mut aggs: Vec<AggSpec> = Vec::new();
+    let mut agg_names: Vec<String> = Vec::new();
+    let mut key_names: Vec<(Col, String)> = Vec::new();
+    for (i, item) in query.items.iter().enumerate() {
+        let item_name = columns
+            .and_then(|cs| cs.get(i).cloned())
+            .or_else(|| item.alias.clone())
+            .or_else(|| match &item.expr {
+                AstExpr::Col { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| format!("col{}", i + 1));
+        match &item.expr {
+            AstExpr::Agg { func, arg } => {
+                aggs.push(AggSpec {
+                    func: *func,
+                    arg: arg.as_ref().map(|a| bind_scalar(a, &scopes)).transpose()?,
+                });
+                agg_names.push(item_name);
+            }
+            e => match bind_scalar(e, &scopes)? {
+                Expr::Col(c) => {
+                    if !group_cols.contains(&c) {
+                        return Err(AggViewError::Bind(format!(
+                            "materialized view column `{item_name}` must be \
+                             grouped or aggregated"
+                        )));
+                    }
+                    key_names.push((c, item_name));
+                }
+                other => {
+                    return Err(AggViewError::Bind(format!(
+                        "materialized view select item `{other}` must be a \
+                         column or aggregate"
+                    )))
+                }
+            },
+        }
+    }
+    let mut column_names = Vec::with_capacity(group_cols.len() + aggs.len());
+    for (i, g) in group_cols.iter().enumerate() {
+        let named = key_names.iter().find(|(c, _)| c == g).map(|(_, n)| n);
+        match named {
+            Some(n) => column_names.push(n.clone()),
+            None => {
+                return Err(AggViewError::Bind(format!(
+                    "grouping column {} of materialized view `{name}` must \
+                     appear in the select list",
+                    i + 1
+                )))
+            }
+        }
+    }
+    column_names.extend(agg_names);
+    let def = MatViewDef {
+        name: name.to_string(),
+        tables,
+        preds,
+        group_cols,
+        aggs,
+        column_names,
+    };
+    def.validate()?;
+    Ok(def)
 }
 
 #[cfg(test)]

@@ -16,7 +16,10 @@
 //!   ([`flatten`], after Kim's type-A/type-JA algorithms — the pathway
 //!   the paper's Section 1 builds on);
 //! * [`session`] — a convenience REPL-style API: `CREATE VIEW` + query
-//!   → optimize → execute, returning rows plus measured IO.
+//!   → optimize → execute, returning rows plus measured IO, plus the
+//!   materialized-view statements (`CREATE MATERIALIZED VIEW`,
+//!   `INSERT INTO ... VALUES` with incremental extent maintenance, and
+//!   `REFRESH MATERIALIZED VIEW`).
 
 #![forbid(unsafe_code)]
 
@@ -27,6 +30,6 @@ pub mod lexer;
 pub mod parser;
 pub mod session;
 
-pub use binder::{bind, BoundQuery};
+pub use binder::{bind, bind_matview, BoundQuery};
 pub use parser::parse;
 pub use session::{Session, SqlResult};

@@ -117,6 +117,14 @@ impl Parser {
     fn statement(&mut self) -> Result<Stmt> {
         if self.peek().is_some_and(|t| t.is_kw("create")) {
             self.create_view()
+        } else if self.peek().is_some_and(|t| t.is_kw("insert")) {
+            self.insert()
+        } else if self.peek().is_some_and(|t| t.is_kw("refresh")) {
+            self.expect_kw("refresh")?;
+            self.expect_kw("materialized")?;
+            self.expect_kw("view")?;
+            let name = self.ident()?;
+            Ok(Stmt::RefreshMaterializedView { name })
         } else if self.peek().is_some_and(|t| t.is_kw("explain")) {
             self.expect_kw("explain")?;
             self.expect_kw("verify")?;
@@ -128,6 +136,7 @@ impl Parser {
 
     fn create_view(&mut self) -> Result<Stmt> {
         self.expect_kw("create")?;
+        let materialized = self.kw("materialized");
         self.expect_kw("view")?;
         let name = self.ident()?;
         let columns = if self.peek() == Some(&Token::LParen) {
@@ -144,11 +153,43 @@ impl Parser {
         };
         self.expect_kw("as")?;
         let query = self.select()?;
-        Ok(Stmt::CreateView {
-            name,
-            columns,
-            query,
+        Ok(if materialized {
+            Stmt::CreateMaterializedView {
+                name,
+                columns,
+                query,
+            }
+        } else {
+            Stmt::CreateView {
+                name,
+                columns,
+                query,
+            }
         })
+    }
+
+    fn insert(&mut self) -> Result<Stmt> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        self.expect_kw("values")?;
+        let mut rows = vec![self.value_row()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            rows.push(self.value_row()?);
+        }
+        Ok(Stmt::Insert { table, rows })
+    }
+
+    fn value_row(&mut self) -> Result<Vec<AstExpr>> {
+        self.expect(&Token::LParen)?;
+        let mut vals = vec![self.expr()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            vals.push(self.expr()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(vals)
     }
 
     fn select(&mut self) -> Result<SelectStmt> {
@@ -542,6 +583,47 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parses_create_materialized_view() {
+        let stmt = parse(
+            "create materialized view dsal(dno, total) as \
+             select dno, sum(sal) from emp group by dno",
+        )
+        .unwrap();
+        let Stmt::CreateMaterializedView { name, columns, .. } = stmt else {
+            panic!("expected create materialized view")
+        };
+        assert_eq!(name, "dsal");
+        assert_eq!(columns.unwrap(), vec!["dno", "total"]);
+    }
+
+    #[test]
+    fn parses_insert_values() {
+        let stmt =
+            parse("insert into emp values (1, 'pat', 0, 950.5, 21), (2, 'sam', 1, 800.0, 45)")
+                .unwrap();
+        let Stmt::Insert { table, rows } = stmt else {
+            panic!("expected insert")
+        };
+        assert_eq!(table, "emp");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 5);
+        assert!(matches!(rows[0][1], AstExpr::Lit(Value::Str(_))));
+    }
+
+    #[test]
+    fn parses_refresh_materialized_view() {
+        let stmt = parse("refresh materialized view dsal;").unwrap();
+        assert_eq!(
+            stmt,
+            Stmt::RefreshMaterializedView {
+                name: "dsal".into()
+            }
+        );
+        assert!(parse("refresh view dsal").is_err());
+        assert!(parse("insert into emp (1)").is_err());
     }
 
     #[test]

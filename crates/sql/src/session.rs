@@ -1,9 +1,9 @@
 //! A REPL-style session: parse → bind → optimize → execute.
 
-use crate::ast::Stmt;
-use crate::binder::{bind, BoundQuery, ViewRegistry};
+use crate::ast::{AstExpr, Stmt};
+use crate::binder::{bind, bind_matview, BoundQuery, ViewRegistry};
 use crate::parser::parse_script;
-use aggview_common::{AggViewError, FaultInjector, Result, Tuple, Value};
+use aggview_common::{AggViewError, BinaryOp, FaultInjector, Result, Tuple, Value};
 use aggview_core::analyze::PlanAnalyzer;
 use aggview_core::cost::CostModel;
 use aggview_core::governor::{OptimizeOutcome, ResourceGovernor, ResourceLimits};
@@ -122,8 +122,12 @@ impl Session {
         self.registry.len()
     }
 
-    /// Execute a script: `CREATE VIEW`s register views; the result of
-    /// the **last SELECT** is returned.
+    /// Execute a script: `CREATE VIEW`s register views; `CREATE
+    /// MATERIALIZED VIEW` additionally builds and stores the extent;
+    /// `INSERT INTO ... VALUES` appends rows and incrementally
+    /// maintains affected extents; `REFRESH MATERIALIZED VIEW` rebuilds
+    /// one. The result of the **last SELECT** (or a status row for a
+    /// trailing DML/materialization statement) is returned.
     pub fn execute(&mut self, sql: &str) -> Result<SqlResult> {
         let stmts = parse_script(sql)?;
         let mut last = None;
@@ -135,6 +139,29 @@ impl Session {
                     query,
                 } => {
                     self.registry.register(&name, columns, query);
+                }
+                Stmt::CreateMaterializedView {
+                    name,
+                    columns,
+                    query,
+                } => {
+                    last = Some(self.create_matview(&name, columns, query)?);
+                }
+                Stmt::Insert { table, rows } => {
+                    last = Some(self.insert_rows(&table, &rows)?);
+                }
+                Stmt::RefreshMaterializedView { name } => {
+                    let gov = ResourceGovernor::new(self.limits);
+                    let n = aggview_executor::matview::refresh(
+                        &name,
+                        &self.catalog,
+                        self.model,
+                        self.exec,
+                        &gov,
+                    )?;
+                    last = Some(status_result(format!(
+                        "refreshed materialized view `{name}`: {n} extent row(s)"
+                    )));
                 }
                 Stmt::Select(s) => {
                     let bound = bind(&s, &self.catalog, &self.registry)?;
@@ -151,6 +178,73 @@ impl Session {
         last.ok_or_else(|| AggViewError::Bind("script contains no SELECT".into()))
     }
 
+    /// `CREATE MATERIALIZED VIEW`: bind the body to a self-contained
+    /// definition, build and store its extent, and register the view
+    /// for name resolution (so queries referencing it by name inline
+    /// its body — the optimizer then picks the extent purely by cost).
+    fn create_matview(
+        &mut self,
+        name: &str,
+        columns: Option<Vec<String>>,
+        query: crate::ast::SelectStmt,
+    ) -> Result<SqlResult> {
+        let def = bind_matview(
+            name,
+            columns.as_deref(),
+            &query,
+            &self.catalog,
+            &self.registry,
+        )?;
+        let gov = ResourceGovernor::new(self.limits);
+        let n = aggview_executor::matview::build_extent(
+            &def,
+            &self.catalog,
+            self.model,
+            self.exec,
+            &gov,
+        )?;
+        self.registry.register(name, columns, query);
+        Ok(status_result(format!(
+            "materialized view `{name}`: {n} extent row(s)"
+        )))
+    }
+
+    /// `INSERT INTO ... VALUES`: append literal rows to a base table,
+    /// then maintain every materialized view that references it
+    /// (incremental partial-state merge where possible, full rebuild
+    /// otherwise).
+    fn insert_rows(&mut self, table: &str, rows: &[Vec<AstExpr>]) -> Result<SqlResult> {
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(eval_literal)
+                    .collect::<Result<Vec<Value>>>()
+                    .map(Tuple::new)
+            })
+            .collect::<Result<_>>()?;
+        let prev = self.catalog.append_rows(table, tuples.clone())?;
+        let total = prev + tuples.len();
+        let gov = ResourceGovernor::new(self.limits);
+        let maintained = aggview_executor::matview::maintain_after_insert(
+            table,
+            &tuples,
+            &self.catalog,
+            self.model,
+            self.exec,
+            &gov,
+        )?;
+        let views = if maintained.is_empty() {
+            String::new()
+        } else {
+            format!("; maintained views: {}", maintained.join(", "))
+        };
+        Ok(status_result(format!(
+            "inserted {} row(s) into `{table}` ({total} total){views}",
+            rows.len()
+        )))
+    }
+
     /// Bind and optimize without executing; returns the bound query and
     /// the optimizer result (for EXPLAIN-style inspection).
     pub fn plan(&mut self, sql: &str) -> Result<(BoundQuery, Optimized)> {
@@ -162,7 +256,14 @@ impl Session {
                     name,
                     columns,
                     query,
+                }
+                | Stmt::CreateMaterializedView {
+                    name,
+                    columns,
+                    query,
                 } => self.registry.register(&name, columns, query),
+                // Planning-only surfaces never execute side effects.
+                Stmt::Insert { .. } | Stmt::RefreshMaterializedView { .. } => {}
                 Stmt::Select(s) | Stmt::ExplainVerify(s) => select = Some(s),
             }
         }
@@ -189,7 +290,14 @@ impl Session {
                     name,
                     columns,
                     query,
+                }
+                | Stmt::CreateMaterializedView {
+                    name,
+                    columns,
+                    query,
                 } => self.registry.register(&name, columns, query),
+                // Planning-only surfaces never execute side effects.
+                Stmt::Insert { .. } | Stmt::RefreshMaterializedView { .. } => {}
                 Stmt::Select(s) | Stmt::ExplainVerify(s) => select = Some(s),
             }
         }
@@ -274,6 +382,61 @@ impl Session {
             outcome: opt.outcome,
             retries: 0,
         })
+    }
+}
+
+/// A single status row describing a DDL/DML statement's effect.
+fn status_result(msg: String) -> SqlResult {
+    SqlResult {
+        columns: vec!["status".into()],
+        rows: vec![Tuple::new(vec![Value::str(msg)])],
+        io_pages: 0.0,
+        estimated_cost: 0.0,
+        plan: String::new(),
+        outcome: OptimizeOutcome::Full,
+        retries: 0,
+    }
+}
+
+/// Constant-fold an `INSERT ... VALUES` expression: literals and
+/// arithmetic over them (which is how the parser spells negative
+/// numbers); anything referencing a column or subquery is rejected.
+fn eval_literal(e: &AstExpr) -> Result<Value> {
+    match e {
+        AstExpr::Lit(v) => Ok(v.clone()),
+        AstExpr::Binary { op, left, right } => {
+            let l = eval_literal(left)?;
+            let r = eval_literal(right)?;
+            if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
+                return Ok(Value::Int(match op {
+                    BinaryOp::Add => a + b,
+                    BinaryOp::Sub => a - b,
+                    BinaryOp::Mul => a * b,
+                    BinaryOp::Div => {
+                        if b == 0 {
+                            return Err(AggViewError::Bind(
+                                "division by zero in INSERT value".into(),
+                            ));
+                        }
+                        a / b
+                    }
+                }));
+            }
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Err(AggViewError::Bind(format!(
+                    "INSERT value `{e}` is not numeric"
+                )));
+            };
+            Ok(Value::Float(match op {
+                BinaryOp::Add => a + b,
+                BinaryOp::Sub => a - b,
+                BinaryOp::Mul => a * b,
+                BinaryOp::Div => a / b,
+            }))
+        }
+        other => Err(AggViewError::Bind(format!(
+            "INSERT values must be literals, found `{other}`"
+        ))),
     }
 }
 
@@ -485,6 +648,162 @@ mod tests {
         let err = s.execute("select eno from emp").unwrap_err();
         assert_eq!(err.kind(), "resource-exhausted");
         assert!(!err.is_retryable(), "budget errors must not retry");
+    }
+}
+
+#[cfg(test)]
+mod matview_tests {
+    use super::*;
+    use aggview_storage::datagen::{gen_empdept, EmpDeptConfig};
+
+    // Large enough that the extent (one row per department) is strictly
+    // cheaper than rescanning emp: the matcher only wins on cost.
+    fn session() -> Session {
+        Session::new(
+            gen_empdept(&EmpDeptConfig {
+                n_depts: 30,
+                emps_per_dept: 40,
+                young_fraction: 0.3,
+                seed: 33,
+                ..Default::default()
+            })
+            .unwrap(),
+        )
+    }
+
+    fn sorted_rows(r: &SqlResult) -> Vec<String> {
+        let mut v: Vec<String> = r.rows.iter().map(|t| t.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn create_matview_builds_extent_and_answers_queries() {
+        let mut s = session();
+        let st = s
+            .execute(
+                "create materialized view dsal(dno, total, n) as \
+                 select dno, sum(sal), count(*) from emp group by dno",
+            )
+            .unwrap();
+        assert!(st.rows[0].get(0).to_string().contains("30 extent row"));
+        assert!(s.catalog().matview("dsal").is_some());
+
+        let with_mv = s
+            .execute("select dno, sum(sal) from emp group by dno")
+            .unwrap();
+        assert!(
+            with_mv.plan.contains("ExtentScan"),
+            "expected extent access path, got:\n{}",
+            with_mv.plan
+        );
+        s.config.use_matviews = false;
+        let inlined = s
+            .execute("select dno, sum(sal) from emp group by dno")
+            .unwrap();
+        assert_eq!(sorted_rows(&with_mv), sorted_rows(&inlined));
+        assert!(with_mv.estimated_cost <= inlined.estimated_cost);
+    }
+
+    #[test]
+    fn insert_maintains_extent_incrementally() {
+        let mut s = session();
+        s.execute(
+            "create materialized view dsal(dno, total, n) as \
+             select dno, sum(sal), count(*) from emp group by dno",
+        )
+        .unwrap();
+        let st = s
+            .execute("insert into emp values (9001, 'pat', 0, 1234.5, 25)")
+            .unwrap();
+        let msg = st.rows[0].get(0).to_string();
+        assert!(msg.contains("maintained views: dsal"), "{msg}");
+        let meta = s.catalog().matview("dsal").unwrap();
+        assert!(
+            !meta.is_stale(s.catalog()),
+            "maintenance must refresh versions"
+        );
+
+        // The maintained extent agrees with recomputing from base data.
+        let via_mv = s
+            .execute("select dno, sum(sal) from emp group by dno")
+            .unwrap();
+        s.config.use_matviews = false;
+        let inlined = s
+            .execute("select dno, sum(sal) from emp group by dno")
+            .unwrap();
+        assert_eq!(sorted_rows(&via_mv), sorted_rows(&inlined));
+    }
+
+    #[test]
+    fn stale_extent_is_bypassed_until_refresh() {
+        let mut s = session();
+        s.execute(
+            "create materialized view dsal(dno, total, n) as \
+             select dno, sum(sal), count(*) from emp group by dno",
+        )
+        .unwrap();
+        // Programmatic append without maintenance: the extent goes
+        // stale and the matcher must fall back to inlining.
+        s.catalog()
+            .append_rows(
+                "emp",
+                vec![Tuple::new(vec![
+                    Value::Int(9002),
+                    Value::str("sam"),
+                    Value::Int(1),
+                    Value::Float(700.0),
+                    Value::Int(41),
+                ])],
+            )
+            .unwrap();
+        assert!(s.catalog().matview("dsal").unwrap().is_stale(s.catalog()));
+        let stale = s
+            .execute("select dno, sum(sal) from emp group by dno")
+            .unwrap();
+        assert!(
+            !stale.plan.contains("ExtentScan"),
+            "stale extents must not be scanned:\n{}",
+            stale.plan
+        );
+
+        let st = s.execute("refresh materialized view dsal").unwrap();
+        assert!(st.rows[0].get(0).to_string().contains("refreshed"));
+        assert!(!s.catalog().matview("dsal").unwrap().is_stale(s.catalog()));
+        let fresh = s
+            .execute("select dno, sum(sal) from emp group by dno")
+            .unwrap();
+        assert!(fresh.plan.contains("ExtentScan"));
+        assert_eq!(sorted_rows(&stale), sorted_rows(&fresh));
+    }
+
+    #[test]
+    fn matview_body_errors_are_clear() {
+        let mut s = session();
+        for (sql, needle) in [
+            (
+                "create materialized view x as select dno from emp group by dno",
+                "no aggregates",
+            ),
+            (
+                "create materialized view x(a) as select sum(sal) from emp group by dno",
+                "must appear in the select list",
+            ),
+            (
+                "create materialized view x(d, t) as select dno, sum(sal) from emp \
+                 group by dno having sum(sal) > 1",
+                "HAVING",
+            ),
+        ] {
+            let err = s.execute(sql).unwrap_err();
+            assert!(err.message().contains(needle), "{sql}: got {err}");
+        }
+        let err = s
+            .execute("insert into emp values (1, bogus, 2, 3.0, 4)")
+            .unwrap_err();
+        assert!(err.message().contains("literal"), "{err}");
+        let err = s.execute("refresh materialized view ghost").unwrap_err();
+        assert!(err.message().contains("unknown materialized view"));
     }
 }
 

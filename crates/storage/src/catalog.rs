@@ -1,19 +1,42 @@
 //! The table catalog.
 
+use crate::matview::MatViewMeta;
+use crate::stats::TableStats;
 use crate::table::Table;
-use aggview_common::{AggViewError, Result};
+use aggview_common::{AggViewError, Result, Tuple};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Per-table modification bookkeeping.
+///
+/// `data` increments on every registration or data change; `stats` records
+/// the data version the table's statistics were computed from. The two
+/// stay equal under the normal immutable-rebuild discipline (rebuilding a
+/// table re-runs `analyze`), so `stats != data` flags a logic error where
+/// statistics would silently go stale — the cost model debug-asserts on
+/// it via [`Catalog::stats_fresh`].
+#[derive(Debug, Clone, Copy, Default)]
+struct TableVersions {
+    data: u64,
+    stats: u64,
+}
 
 /// A concurrent name → table registry.
 ///
 /// Names are case-insensitive (normalized to lowercase), matching SQL
 /// identifier behaviour. Lookups hand out `Arc<Table>` so executors and
 /// optimizers can hold tables without locking.
+///
+/// Beyond plain tables the catalog also tracks per-table modification
+/// counters (the staleness basis for statistics and materialized views)
+/// and the registry of [`MatViewMeta`] entries describing materialized
+/// aggregate-view extents.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
+    versions: RwLock<BTreeMap<String, TableVersions>>,
+    matviews: RwLock<BTreeMap<String, MatViewMeta>>,
 }
 
 impl Catalog {
@@ -31,14 +54,17 @@ impl Catalog {
                 table.name()
             )));
         }
-        map.insert(key, table);
+        map.insert(key.clone(), table);
+        drop(map);
+        self.bump(&key);
         Ok(())
     }
 
     /// Register a table, replacing any existing one with the same name.
     pub fn add_or_replace(&self, table: Arc<Table>) {
         let key = table.name().to_ascii_lowercase();
-        self.tables.write().insert(key, table);
+        self.tables.write().insert(key.clone(), table);
+        self.bump(&key);
     }
 
     /// Look up a table by name.
@@ -69,12 +95,149 @@ impl Catalog {
     pub fn is_empty(&self) -> bool {
         self.tables.read().is_empty()
     }
+
+    // ---- modification counters -------------------------------------
+
+    fn bump(&self, key: &str) {
+        let mut v = self.versions.write();
+        let e = v.entry(key.to_string()).or_default();
+        e.data += 1;
+        // The immutable-rebuild discipline recomputes statistics with the
+        // data, so registration brings them back in sync.
+        e.stats = e.data;
+    }
+
+    /// Current data version of a table (0 when never registered).
+    pub fn data_version(&self, name: &str) -> u64 {
+        self.versions
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .map_or(0, |v| v.data)
+    }
+
+    /// Data version the table's statistics were computed from.
+    pub fn stats_version(&self, name: &str) -> u64 {
+        self.versions
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .map_or(0, |v| v.stats)
+    }
+
+    /// True when the table's statistics match its data version. The cost
+    /// model debug-asserts this before trusting `ColumnStats`.
+    pub fn stats_fresh(&self, name: &str) -> bool {
+        self.versions
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .is_none_or(|v| v.stats == v.data)
+    }
+
+    /// Record an out-of-band data modification without re-analyzed stats
+    /// (marks the table's statistics stale until it is re-registered).
+    pub fn mark_modified(&self, name: &str) {
+        let mut v = self.versions.write();
+        v.entry(name.to_ascii_lowercase()).or_default().data += 1;
+    }
+
+    /// The table's statistics, stamped with the version they were
+    /// computed from so downstream consumers can verify freshness.
+    pub fn stats_of(&self, name: &str) -> Result<TableStats> {
+        let t = self.get(name)?;
+        let mut stats = t.stats().clone();
+        stats.version = self.stats_version(name);
+        Ok(stats)
+    }
+
+    /// Append rows to a table, preserving its schema and key declarations.
+    ///
+    /// The immutable-table discipline means "append" rebuilds the table
+    /// (re-validating primary-key uniqueness and re-analyzing statistics)
+    /// and swaps it into the catalog, bumping the data version. Callers
+    /// maintaining materialized views use the returned previous row count
+    /// to locate the delta.
+    pub fn append_rows(&self, name: &str, rows: Vec<Tuple>) -> Result<usize> {
+        let old = self.get(name)?;
+        let prev_len = old.len();
+        let mut b = Table::builder(old.name(), old.schema().clone());
+        if let Some(pk) = old.primary_key() {
+            let names: Vec<String> = pk
+                .cols
+                .iter()
+                .map(|&i| old.schema().field(i).name.clone())
+                .collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            b = b.primary_key(&refs)?;
+        }
+        for fk in old.foreign_keys() {
+            let names: Vec<String> = fk
+                .cols
+                .iter()
+                .map(|&i| old.schema().field(i).name.clone())
+                .collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            b = b.foreign_key(&refs, &fk.parent, &fk.parent_cols)?;
+        }
+        for row in old.rows() {
+            b.push(row.clone())?;
+        }
+        for row in rows {
+            b.push(row)?;
+        }
+        let table = b.build()?;
+        self.add_or_replace(table);
+        Ok(prev_len)
+    }
+
+    // ---- materialized views ----------------------------------------
+
+    /// Register a materialized view's metadata; rejects duplicates.
+    pub fn register_matview(&self, meta: MatViewMeta) -> Result<()> {
+        let key = meta.def.name.to_ascii_lowercase();
+        let mut map = self.matviews.write();
+        if map.contains_key(&key) {
+            return Err(AggViewError::Catalog(format!(
+                "materialized view `{}` already exists",
+                meta.def.name
+            )));
+        }
+        map.insert(key, meta);
+        Ok(())
+    }
+
+    /// Replace a materialized view's metadata (after refresh/maintenance).
+    pub fn update_matview(&self, meta: MatViewMeta) {
+        let key = meta.def.name.to_ascii_lowercase();
+        self.matviews.write().insert(key, meta);
+    }
+
+    /// Metadata for one materialized view.
+    pub fn matview(&self, name: &str) -> Option<MatViewMeta> {
+        self.matviews
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// Names of all materialized views, sorted.
+    pub fn matview_names(&self) -> Vec<String> {
+        self.matviews.read().keys().cloned().collect()
+    }
+
+    /// All materialized views whose body reads `table`.
+    pub fn matviews_on(&self, table: &str) -> Vec<MatViewMeta> {
+        self.matviews
+            .read()
+            .values()
+            .filter(|m| m.def.tables.iter().any(|t| t.eq_ignore_ascii_case(table)))
+            .cloned()
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aggview_common::{DataType, Schema};
+    use aggview_common::{tuple, DataType, Schema};
 
     fn table(name: &str) -> Arc<Table> {
         Table::builder(name, Schema::of(&[("a", DataType::Int)]))
@@ -120,5 +283,46 @@ mod tests {
         c.add(table("zeta")).unwrap();
         c.add(table("alpha")).unwrap();
         assert_eq!(c.table_names(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn versions_track_registration_and_modification() {
+        let c = Catalog::new();
+        assert_eq!(c.data_version("t"), 0);
+        c.add(table("t")).unwrap();
+        assert_eq!(c.data_version("t"), 1);
+        assert!(c.stats_fresh("t"));
+        c.mark_modified("t");
+        assert_eq!(c.data_version("t"), 2);
+        assert!(!c.stats_fresh("t"));
+        c.add_or_replace(table("t"));
+        assert_eq!(c.data_version("t"), 3);
+        assert!(c.stats_fresh("t"));
+        assert_eq!(c.stats_of("t").unwrap().version, 3);
+    }
+
+    #[test]
+    fn append_rows_preserves_keys_and_reanalyzes() {
+        let c = Catalog::new();
+        let t = Table::builder(
+            "k",
+            Schema::of(&[("id", DataType::Int), ("v", DataType::Int)]),
+        )
+        .primary_key(&["id"])
+        .unwrap()
+        .row(vec![1i64.into(), 10i64.into()])
+        .unwrap()
+        .build()
+        .unwrap();
+        c.add(t).unwrap();
+        let prev = c.append_rows("k", vec![tuple![2i64, 20i64]]).unwrap();
+        assert_eq!(prev, 1);
+        let t2 = c.get("k").unwrap();
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t2.stats().rows, 2);
+        assert!(t2.primary_key().is_some());
+        assert!(c.stats_fresh("k"));
+        // Duplicate primary key in the delta is rejected.
+        assert!(c.append_rows("k", vec![tuple![1i64, 99i64]]).is_err());
     }
 }

@@ -21,12 +21,14 @@
 pub mod catalog;
 pub mod datagen;
 pub mod keys;
+pub mod matview;
 pub mod page;
 pub mod stats;
 pub mod table;
 
 pub use catalog::Catalog;
 pub use keys::{ForeignKey, PrimaryKey};
+pub use matview::{stores_partial_state, AggColumns, ExtentLayout, MatViewDef, MatViewMeta};
 pub use page::PageModel;
 pub use stats::{ColumnStats, Histogram, TableStats};
 pub use table::{Table, TableBuilder};

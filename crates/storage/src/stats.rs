@@ -146,6 +146,11 @@ pub struct TableStats {
     pub row_width: f64,
     /// Per-column statistics, in schema order.
     pub columns: Vec<ColumnStats>,
+    /// Catalog data version these statistics were computed from; stamped
+    /// by [`crate::Catalog::stats_of`] (0 for stats not yet registered).
+    /// Consumers compare it against `Catalog::data_version` to detect
+    /// silently stale statistics.
+    pub version: u64,
 }
 
 impl TableStats {
@@ -154,6 +159,7 @@ impl TableStats {
         TableStats {
             rows: 0,
             row_width: 0.0,
+            version: 0,
             columns: (0..ncols)
                 .map(|_| ColumnStats {
                     distinct: 0,
@@ -215,6 +221,7 @@ pub fn analyze(rows: &[Tuple], ncols: usize) -> TableStats {
         rows: rows.len() as u64,
         row_width: total_width as f64 / rows.len() as f64,
         columns,
+        version: 0,
     }
 }
 

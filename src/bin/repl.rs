@@ -11,7 +11,8 @@
 //! aggview> .explain select dno, count(*) from emp group by dno;
 //! ```
 //!
-//! Dot-commands: `.help`, `.tables`, `.gen empdept [depts emps_per_dept]`,
+//! Dot-commands: `.help`, `.tables`, `.views`, `.stats <table>`,
+//! `.gen empdept [depts emps_per_dept]`,
 //! `.gen star [customers]`, `.mem <pages>`, `.mode <traditional|pushdown|full>`,
 //! `.set <key> <value>` (resource governance: `timeout_ms`, `max_rows`,
 //! `max_bytes`, `max_plans`, `max_memo`, `retries`; `off` clears a limit;
@@ -111,6 +112,8 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
                  \u{20}                            threads (parallel executor workers)\n\
                  .limits                      show current resource limits\n\
                  .bench [threads]             executor scaling benchmark (writes BENCH_exec.json)\n\
+                 .views                       list materialized views (rows, bytes, staleness)\n\
+                 .stats <table>               table/extent statistics (rows, widths, distincts)\n\
                  .explain <sql>               show the chosen plan without running\n\
                  .lint <sql>                  run the plan-integrity analyzer without running\n\
                  .quit                        leave"
@@ -122,6 +125,61 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
                 println!("{name}{} [{} rows]", t.schema(), t.len());
             }
         }
+        ".views" => {
+            let cat = session.catalog();
+            let names = cat.matview_names();
+            if names.is_empty() {
+                println!("no materialized views — try CREATE MATERIALIZED VIEW");
+            }
+            for name in names {
+                let Some(meta) = cat.matview(&name) else {
+                    continue;
+                };
+                match cat.get(&meta.extent) {
+                    Ok(t) => {
+                        let bytes = (t.len() as f64 * t.stats().row_width).round();
+                        println!(
+                            "{name} -> {} [{} rows, ~{bytes} bytes, {}]",
+                            meta.extent,
+                            t.len(),
+                            if meta.is_stale(cat) { "STALE" } else { "fresh" },
+                        );
+                    }
+                    Err(_) => println!("{name} -> {} [extent missing]", meta.extent),
+                }
+            }
+        }
+        ".stats" => match parts.get(1).map(|s| s.trim()) {
+            Some(name) if !name.is_empty() => match session.catalog().get(name) {
+                Ok(t) => {
+                    let s = t.stats();
+                    println!(
+                        "{name}: {} rows, avg row width {:.1} bytes, stats {}",
+                        s.rows,
+                        s.row_width,
+                        if session.catalog().stats_fresh(name) {
+                            "fresh"
+                        } else {
+                            "STALE"
+                        },
+                    );
+                    for (i, c) in s.columns.iter().enumerate() {
+                        let range = match (c.min, c.max) {
+                            (Some(lo), Some(hi)) => format!(", range [{lo}, {hi}]"),
+                            _ => String::new(),
+                        };
+                        println!(
+                            "  {}: {} distinct, avg width {:.1}{range}",
+                            t.schema().field(i).name,
+                            c.distinct,
+                            c.avg_width,
+                        );
+                    }
+                }
+                Err(e) => println!("{e}"),
+            },
+            _ => println!("usage: .stats <table> (extents are tables: try .views for names)"),
+        },
         ".mem" => match parts.get(1).and_then(|s| s.trim().parse::<f64>().ok()) {
             Some(pages) if pages > 0.0 => {
                 session.model = CostModel {

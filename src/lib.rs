@@ -18,7 +18,7 @@
 //! * [`core`] — the paper's contribution: transformations, cost model,
 //!   and optimization algorithms;
 //! * [`sql`] — SQL frontend and nested-subquery flattening;
-//! * [`bench`] — the experiment harness, including the executor
+//! * [`mod@bench`] — the experiment harness, including the executor
 //!   throughput/scaling benchmark behind the `bench` binary and the
 //!   REPL's `.bench` command.
 //!

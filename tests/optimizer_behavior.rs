@@ -66,6 +66,7 @@ fn k_level_pull_up_caps_pulled_set_size() {
             pull_up: level,
             push_down: true,
             require_shared_predicate: true,
+            ..Default::default()
         };
         let opt = optimize(&q, &cat, CostModel::default(), &cfg).unwrap();
         for pulled in &opt.pulled {
@@ -96,6 +97,7 @@ fn shared_predicate_gate_excludes_unconnected_relations() {
         pull_up: PullUpLevel::Unlimited,
         push_down: true,
         require_shared_predicate: true,
+        ..Default::default()
     };
     let opt = optimize(&q, &cat, CostModel::default(), &cfg).unwrap();
     let dept_rel = aggview::RelId(2);

@@ -107,6 +107,7 @@ proptest! {
                 pull_up: level,
                 push_down: true,
                 require_shared_predicate: true,
+                ..Default::default()
             };
             let opt = optimize(&q, &catalog, m, &cfg).unwrap();
             prop_assert!(
