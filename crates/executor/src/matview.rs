@@ -89,13 +89,15 @@ pub fn refresh(
 
 /// Incrementally fold an insert delta on base `table` into the extent
 /// of `view`. Returns `Ok(false)` — extent untouched — when the view
-/// cannot be maintained incrementally (an aggregate stores no partial
-/// state, or the view references the modified table more than once);
+/// cannot be maintained incrementally: an aggregate stores no partial
+/// state, the view references the modified table more than once, or
+/// the base tables have drifted from the versions recorded when the
+/// extent was built (the extent needs more than exactly this delta);
 /// the caller falls back to [`build_extent`].
 ///
-/// Must be called with every *other* base table unchanged since the
-/// extent was last built; the modified table itself may already hold
-/// the delta (its full contents are never read here).
+/// The delta must already be applied to the modified base table (its
+/// data version one past the recorded one — the table's full contents
+/// are never read here, only its version is checked).
 pub fn apply_delta(
     view: &str,
     table: &str,
@@ -116,6 +118,29 @@ pub fn apply_delta(
         .filter(|t| t.eq_ignore_ascii_case(table))
         .count();
     if occurrences != 1 || !def.aggs.iter().all(|a| stores_partial_state(a.func)) {
+        return Ok(false);
+    }
+
+    // The extent can absorb exactly this delta only if the modified
+    // table is one data version past the version recorded at the last
+    // build (the append that produced `delta`) and every other base
+    // table is unchanged. Any other drift means the extent is missing
+    // rows this delta does not carry; merging anyway would stamp it
+    // fresh while silently wrong, so refuse and let the caller rebuild.
+    let versions: Vec<u64> = def.tables.iter().map(|t| catalog.data_version(t)).collect();
+    let in_sync = def
+        .tables
+        .iter()
+        .zip(&meta.base_versions)
+        .zip(&versions)
+        .all(|((name, &recorded), &current)| {
+            if name.eq_ignore_ascii_case(table) {
+                current == recorded + 1
+            } else {
+                current == recorded
+            }
+        });
+    if !in_sync {
         return Ok(false);
     }
 
@@ -162,7 +187,10 @@ pub fn apply_delta(
     let rows = rows_of(gt, def)?;
     let rebuilt = materialize(def, catalog, rows)?;
     catalog.add_or_replace(rebuilt);
-    meta.base_versions = def.tables.iter().map(|t| catalog.data_version(t)).collect();
+    // Stamp the versions verified above, not a re-read: a concurrent
+    // modification between the check and here must leave the extent
+    // marked stale, not be laundered into "fresh".
+    meta.base_versions = versions;
     catalog.update_matview(meta);
     Ok(true)
 }
@@ -407,6 +435,47 @@ mod tests {
     }
 
     #[test]
+    fn drifted_extent_refuses_incremental_and_rebuilds() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        let def = dept_sal_view();
+        build_extent(&def, &cat, model, opts, &gov).unwrap();
+
+        // An out-of-band append the extent never saw...
+        cat.append_rows(
+            "emp",
+            vec![Tuple::new(vec![
+                Value::Int(9050),
+                "kim".into(),
+                Value::Int(1),
+                Value::Float(2000.0),
+                Value::Int(22),
+            ])],
+        )
+        .unwrap();
+        // ...followed by a second insert: folding only the second delta
+        // would launder the first one's staleness.
+        let delta = vec![Tuple::new(vec![
+            Value::Int(9051),
+            "ada".into(),
+            Value::Int(1),
+            Value::Float(900.0),
+            Value::Int(24),
+        ])];
+        cat.append_rows("emp", delta.clone()).unwrap();
+        assert!(
+            !apply_delta("dsal", "emp", &delta, &cat, model, opts, &gov).unwrap(),
+            "version drift must refuse incremental maintenance"
+        );
+        assert!(cat.matview("dsal").unwrap().is_stale(&cat));
+
+        // maintain_after_insert falls back to a full rebuild.
+        let names = maintain_after_insert("emp", &delta, &cat, model, opts, &gov).unwrap();
+        assert_eq!(names, vec!["dsal".to_string()]);
+        assert!(!cat.matview("dsal").unwrap().is_stale(&cat));
+    }
+
+    #[test]
     fn stddev_views_refuse_incremental() {
         let cat = setup();
         let (model, opts, gov) = exec_env();
@@ -460,5 +529,23 @@ mod tests {
         // refresh after incremental: both paths already verified equal in
         // build_then_incremental_equals_refresh; here we check freshness.
         assert!(!cat.matview("jv").unwrap().is_stale(&cat));
+
+        // Drift on the *other* base table also refuses incremental:
+        // the delta-substituted plan would read dept rows the recorded
+        // versions never covered.
+        cat.mark_modified("dept");
+        let delta2 = vec![Tuple::new(vec![
+            Value::Int(9101),
+            "kai".into(),
+            Value::Int(4),
+            Value::Float(600.0),
+            Value::Int(28),
+        ])];
+        cat.append_rows("emp", delta2.clone()).unwrap();
+        assert!(
+            !apply_delta("jv", "emp", &delta2, &cat, model, opts, &gov).unwrap(),
+            "other-table drift must refuse incremental maintenance"
+        );
+        assert!(cat.matview("jv").unwrap().is_stale(&cat));
     }
 }

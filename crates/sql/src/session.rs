@@ -188,6 +188,12 @@ impl Session {
         columns: Option<Vec<String>>,
         query: crate::ast::SelectStmt,
     ) -> Result<SqlResult> {
+        if self.catalog.matview(name).is_some() {
+            return Err(AggViewError::Catalog(format!(
+                "materialized view `{name}` already exists \
+                 (use REFRESH MATERIALIZED VIEW to rebuild it)"
+            )));
+        }
         let def = bind_matview(
             name,
             columns.as_deref(),
@@ -408,19 +414,22 @@ fn eval_literal(e: &AstExpr) -> Result<Value> {
             let l = eval_literal(left)?;
             let r = eval_literal(right)?;
             if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
-                return Ok(Value::Int(match op {
-                    BinaryOp::Add => a + b,
-                    BinaryOp::Sub => a - b,
-                    BinaryOp::Mul => a * b,
+                let v = match op {
+                    BinaryOp::Add => a.checked_add(b),
+                    BinaryOp::Sub => a.checked_sub(b),
+                    BinaryOp::Mul => a.checked_mul(b),
                     BinaryOp::Div => {
                         if b == 0 {
                             return Err(AggViewError::Bind(
                                 "division by zero in INSERT value".into(),
                             ));
                         }
-                        a / b
+                        a.checked_div(b)
                     }
-                }));
+                };
+                return v.map(Value::Int).ok_or_else(|| {
+                    AggViewError::Bind(format!("integer overflow in INSERT value `{e}`"))
+                });
             }
             let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
                 return Err(AggViewError::Bind(format!(
@@ -775,6 +784,31 @@ mod matview_tests {
             .unwrap();
         assert!(fresh.plan.contains("ExtentScan"));
         assert_eq!(sorted_rows(&stale), sorted_rows(&fresh));
+    }
+
+    #[test]
+    fn duplicate_matview_create_is_rejected() {
+        let mut s = session();
+        let ddl = "create materialized view dsal(dno, total, n) as \
+                   select dno, sum(sal), count(*) from emp group by dno";
+        s.execute(ddl).unwrap();
+        let err = s.execute(ddl).unwrap_err();
+        assert!(err.message().contains("already exists"), "{err}");
+        // The original view survives the rejected re-create.
+        assert!(s.catalog().matview("dsal").is_some());
+    }
+
+    #[test]
+    fn insert_literal_overflow_is_an_error_not_a_panic() {
+        let mut s = session();
+        for sql in [
+            "insert into emp values (9223372036854775807 + 1, 'x', 0, 1.0, 20)",
+            "insert into emp values (9223372036854775807 * 2, 'x', 0, 1.0, 20)",
+            "insert into emp values (-9223372036854775807 - 2, 'x', 0, 1.0, 20)",
+        ] {
+            let err = s.execute(sql).unwrap_err();
+            assert!(err.message().contains("overflow"), "{sql}: got {err}");
+        }
     }
 
     #[test]

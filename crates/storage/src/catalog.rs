@@ -155,8 +155,17 @@ impl Catalog {
     /// and swaps it into the catalog, bumping the data version. Callers
     /// maintaining materialized views use the returned previous row count
     /// to locate the delta.
+    ///
+    /// The tables write lock is held across the read-rebuild-swap, so
+    /// concurrent appends to the same table serialize and neither batch
+    /// is lost (readers block for the rebuild's duration).
     pub fn append_rows(&self, name: &str, rows: Vec<Tuple>) -> Result<usize> {
-        let old = self.get(name)?;
+        let key = name.to_ascii_lowercase();
+        let mut map = self.tables.write();
+        let old = map
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| AggViewError::Catalog(format!("unknown table `{name}`")))?;
         let prev_len = old.len();
         let mut b = Table::builder(old.name(), old.schema().clone());
         if let Some(pk) = old.primary_key() {
@@ -184,7 +193,9 @@ impl Catalog {
             b.push(row)?;
         }
         let table = b.build()?;
-        self.add_or_replace(table);
+        map.insert(key.clone(), table);
+        drop(map);
+        self.bump(&key);
         Ok(prev_len)
     }
 
@@ -324,5 +335,24 @@ mod tests {
         assert!(c.stats_fresh("k"));
         // Duplicate primary key in the delta is rejected.
         assert!(c.append_rows("k", vec![tuple![1i64, 99i64]]).is_err());
+        assert!(c.append_rows("ghost", vec![]).is_err());
+    }
+
+    #[test]
+    fn concurrent_appends_lose_no_rows() {
+        let c = Arc::new(Catalog::new());
+        c.add(table("t")).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || c.append_rows("t", vec![tuple![i as i64]]).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get("t").unwrap().len(), 8);
+        assert_eq!(c.data_version("t"), 9);
+        assert!(c.stats_fresh("t"));
     }
 }
