@@ -99,6 +99,32 @@ pub struct MatviewReport {
     pub incremental_matches_refresh: bool,
 }
 
+/// The durability workload: WAL append overhead against the zero-IO
+/// in-memory path, WAL replay throughput, and checkpoint + recover
+/// latency, all on a scratch directory under the system temp dir.
+#[derive(Debug, Clone)]
+pub struct DurabilityReport {
+    /// Rows appended per measured run.
+    pub rows_appended: u64,
+    /// Appends into a plain in-memory catalog (no WAL).
+    pub mem_insert_ms: f64,
+    /// The same appends into a durable catalog (each batch WAL-logged
+    /// and fsynced).
+    pub wal_insert_ms: f64,
+    /// `wal_insert_ms / mem_insert_ms` — the per-batch durability tax.
+    pub wal_overhead: f64,
+    /// Committed WAL records replayed on recovery.
+    pub replay_records: u64,
+    /// `Catalog::open` over the un-checkpointed WAL.
+    pub replay_ms: f64,
+    /// Rows recovered per second of replay.
+    pub replay_rows_per_sec: f64,
+    /// Snapshot write + WAL truncation.
+    pub checkpoint_ms: f64,
+    /// `Catalog::open` when the snapshot covers everything (no replay).
+    pub recover_after_checkpoint_ms: f64,
+}
+
 /// Current serial kernel vs. the clone-key baseline it replaced.
 #[derive(Debug, Clone)]
 pub struct KernelReport {
@@ -121,6 +147,7 @@ pub struct ExecBenchReport {
     pub workloads: Vec<WorkloadReport>,
     pub serial_kernels: Vec<KernelReport>,
     pub matview: MatviewReport,
+    pub durability: DurabilityReport,
     /// Plans run through the static integrity analyzer before execution.
     pub plans_checked: u64,
     /// Plans the analyzer accepted. The run aborts on the first
@@ -363,6 +390,7 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
     ];
 
     let matview = matview_report(scale, repeats)?;
+    let durability = durability_report(scale, repeats)?;
 
     Ok(ExecBenchReport {
         host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -372,8 +400,121 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
         workloads,
         serial_kernels,
         matview,
+        durability,
         plans_checked,
         plans_passed,
+    })
+}
+
+/// Measure the durability subsystem on a scratch directory: the WAL
+/// append tax over the in-memory insert path, replay throughput on
+/// recovery, and checkpoint + post-checkpoint recovery latency.
+/// Correctness (recovered state == committed state) is the integration
+/// suite's job; this only quantifies the cost.
+fn durability_report(scale: usize, repeats: usize) -> Result<DurabilityReport> {
+    use aggview_common::{DataType, Schema};
+    use aggview_storage::{Table, WalReader};
+
+    let base = std::env::temp_dir().join(format!("aggview-bench-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let n_batches = 40 * scale;
+    let batch_rows = 25usize;
+    let rows_appended = (n_batches * batch_rows) as u64;
+    let mk_table = || -> Result<std::sync::Arc<Table>> {
+        Table::builder(
+            "kv",
+            Schema::of(&[("k", DataType::Int), ("v", DataType::Float)]),
+        )
+        .primary_key(&["k"])?
+        .build()
+    };
+    let batch = |b: usize| -> Vec<Tuple> {
+        (0..batch_rows)
+            .map(|i| {
+                let k = (b * batch_rows + i) as i64;
+                Tuple::new(vec![Value::Int(k), Value::Float(k as f64 * 0.5)])
+            })
+            .collect()
+    };
+
+    // In-memory baseline: identical batches, no WAL.
+    let mut mem_insert_ms = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let cat = Catalog::new();
+        cat.add(mk_table()?)?;
+        let t0 = Instant::now();
+        for b in 0..n_batches {
+            cat.append_rows("kv", batch(b))?;
+        }
+        mem_insert_ms = mem_insert_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Durable appends: a fresh directory per repeat so every run logs
+    // the same record sequence.
+    let mut wal_insert_ms = f64::INFINITY;
+    let replay_dir = base.join("replay");
+    for rep in 0..repeats.max(1) {
+        let dir = base.join(format!("ins{rep}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cat = Catalog::open(&dir)?;
+        cat.add(mk_table()?)?;
+        let t0 = Instant::now();
+        for b in 0..n_batches {
+            cat.append_rows("kv", batch(b))?;
+        }
+        wal_insert_ms = wal_insert_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        if rep + 1 == repeats.max(1) {
+            drop(cat);
+            let _ = std::fs::remove_dir_all(&replay_dir);
+            std::fs::rename(&dir, &replay_dir)
+                .map_err(|e| AggViewError::Io(format!("stage replay dir: {e}")))?;
+        }
+    }
+
+    // Replay: recover the un-checkpointed log.
+    let replay_records =
+        WalReader::read_committed(&replay_dir.join(aggview_storage::catalog::WAL_FILE))?
+            .records
+            .len() as u64;
+    let mut replay_ms = f64::INFINITY;
+    let mut recovered_rows = 0;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        let cat = Catalog::open(&replay_dir)?;
+        replay_ms = replay_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        recovered_rows = cat.get("kv")?.len() as u64;
+    }
+    if recovered_rows != rows_appended {
+        return Err(AggViewError::PlanInvalid(format!(
+            "durability bench: recovered {recovered_rows} rows, appended {rows_appended}"
+        )));
+    }
+
+    // Checkpoint, then recover from the snapshot alone.
+    let cat = Catalog::open(&replay_dir)?;
+    let (checkpoint_ms, _) = time_best(repeats, || cat.checkpoint())?;
+    drop(cat);
+    let mut recover_after_checkpoint_ms = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        let cat = Catalog::open(&replay_dir)?;
+        recover_after_checkpoint_ms =
+            recover_after_checkpoint_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        debug_assert_eq!(cat.get("kv")?.len() as u64, rows_appended);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    Ok(DurabilityReport {
+        rows_appended,
+        mem_insert_ms,
+        wal_insert_ms,
+        wal_overhead: wal_insert_ms / mem_insert_ms.max(1e-9),
+        replay_records,
+        replay_ms,
+        replay_rows_per_sec: rate(rows_appended, replay_ms),
+        checkpoint_ms,
+        recover_after_checkpoint_ms,
     })
 }
 
@@ -776,6 +917,22 @@ impl ExecBenchReport {
             num(m.stale_then_refreshed_ms),
             m.incremental_matches_refresh,
         ));
+        let d = &self.durability;
+        s.push_str(&format!(
+            "  \"durability\": {{\"rows_appended\": {}, \"mem_insert_ms\": {}, \
+             \"wal_insert_ms\": {}, \"wal_overhead\": {}, \"replay_records\": {}, \
+             \"replay_ms\": {}, \"replay_rows_per_sec\": {}, \"checkpoint_ms\": {}, \
+             \"recover_after_checkpoint_ms\": {}}},\n",
+            d.rows_appended,
+            num(d.mem_insert_ms),
+            num(d.wal_insert_ms),
+            num(d.wal_overhead),
+            d.replay_records,
+            num(d.replay_ms),
+            num(d.replay_rows_per_sec),
+            num(d.checkpoint_ms),
+            num(d.recover_after_checkpoint_ms),
+        ));
         s.push_str("  \"serial_kernels\": [\n");
         for (i, k) in self.serial_kernels.iter().enumerate() {
             s.push_str(&format!(
@@ -843,6 +1000,21 @@ impl ExecBenchReport {
             m.stale_then_refreshed_ms,
             m.incremental_matches_refresh
         ));
+        let d = &self.durability;
+        s.push_str(&format!(
+            "durability ({} rows): insert mem {:.2} ms / wal {:.2} ms ({:.2}x tax), \
+             replay {} records in {:.2} ms ({:.0} rows/s), \
+             checkpoint {:.2} ms, recover-from-snapshot {:.2} ms\n",
+            d.rows_appended,
+            d.mem_insert_ms,
+            d.wal_insert_ms,
+            d.wal_overhead,
+            d.replay_records,
+            d.replay_ms,
+            d.replay_rows_per_sec,
+            d.checkpoint_ms,
+            d.recover_after_checkpoint_ms
+        ));
         s
     }
 }
@@ -888,8 +1060,15 @@ mod tests {
             report.matview.incremental_matches_refresh,
             "incremental maintenance must reproduce the rebuilt extent"
         );
+        let d = &report.durability;
+        assert_eq!(d.rows_appended, 1000);
+        // put_table + one record per insert batch.
+        assert_eq!(d.replay_records, 41);
+        assert!(d.wal_insert_ms > 0.0 && d.replay_ms > 0.0 && d.checkpoint_ms > 0.0);
         let json = report.to_json();
         assert!(json.contains("\"plans_passed\": 6"));
+        assert!(json.contains("\"durability\""));
+        assert!(json.contains("\"replay_records\": 41"));
         assert!(json.contains("\"incremental_matches_refresh\": true"));
         assert!(json.contains("\"e8_groupby\""));
         assert!(json.contains("\"serial_kernels\""));

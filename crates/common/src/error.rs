@@ -42,8 +42,28 @@ pub enum AggViewError {
     /// budget) was exhausted before the work completed.
     ResourceExhausted(String),
     /// A transient infrastructure failure (injected fault, flaky scan).
-    /// The only retryable class: retrying may succeed.
+    /// Retryable: retrying may succeed.
     Transient(String),
+    /// An IO operation failed (WAL append, fsync, snapshot write or
+    /// rename). IO failures are treated as transient — the device may
+    /// recover — so this class is retryable. Durability code rolls the
+    /// affected file back to its last committed prefix before
+    /// surfacing the error, so a retry starts from a clean boundary.
+    Io(String),
+    /// On-disk state failed validation: a CRC-checked WAL record or
+    /// snapshot decoded to garbage. Never retryable — corruption does
+    /// not heal — and carries the byte offset and record index so the
+    /// damaged region can be located. (A *torn tail* — an incomplete
+    /// final WAL record from a crash mid-append — is not corruption;
+    /// recovery silently truncates it.)
+    Corrupt {
+        /// Byte offset of the damaged record within its file.
+        offset: u64,
+        /// 0-based index of the damaged record.
+        record: u64,
+        /// What failed to validate.
+        message: String,
+    },
 }
 
 impl AggViewError {
@@ -61,16 +81,50 @@ impl AggViewError {
             AggViewError::Cancelled(_) => "cancelled",
             AggViewError::ResourceExhausted(_) => "resource-exhausted",
             AggViewError::Transient(_) => "transient",
+            AggViewError::Io(_) => "io",
+            AggViewError::Corrupt { .. } => "corrupt",
         }
     }
 
     /// True when retrying the same work may succeed.
     ///
-    /// Only [`AggViewError::Transient`] qualifies: cancellation and
-    /// budget exhaustion are deliberate outcomes, and the remaining
-    /// variants are deterministic failures that would simply recur.
+    /// [`AggViewError::Transient`] and [`AggViewError::Io`] qualify:
+    /// flaky infrastructure and failed IO may succeed on a second
+    /// attempt. Cancellation and budget exhaustion are deliberate
+    /// outcomes, [`AggViewError::Corrupt`] describes damage that will
+    /// not heal, and the remaining variants are deterministic failures
+    /// that would simply recur.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, AggViewError::Transient(_))
+        matches!(self, AggViewError::Transient(_) | AggViewError::Io(_))
+    }
+
+    /// Rewrite the message in place, preserving the variant (used by
+    /// the session's retry loop to append the attempt count without
+    /// laundering the error class).
+    pub fn map_message(self, f: impl FnOnce(String) -> String) -> AggViewError {
+        match self {
+            AggViewError::Parse(m) => AggViewError::Parse(f(m)),
+            AggViewError::Bind(m) => AggViewError::Bind(f(m)),
+            AggViewError::Schema(m) => AggViewError::Schema(f(m)),
+            AggViewError::Catalog(m) => AggViewError::Catalog(f(m)),
+            AggViewError::Plan(m) => AggViewError::Plan(f(m)),
+            AggViewError::PlanInvalid(m) => AggViewError::PlanInvalid(f(m)),
+            AggViewError::Exec(m) => AggViewError::Exec(f(m)),
+            AggViewError::Optimize(m) => AggViewError::Optimize(f(m)),
+            AggViewError::Cancelled(m) => AggViewError::Cancelled(f(m)),
+            AggViewError::ResourceExhausted(m) => AggViewError::ResourceExhausted(f(m)),
+            AggViewError::Transient(m) => AggViewError::Transient(f(m)),
+            AggViewError::Io(m) => AggViewError::Io(f(m)),
+            AggViewError::Corrupt {
+                offset,
+                record,
+                message,
+            } => AggViewError::Corrupt {
+                offset,
+                record,
+                message: f(message),
+            },
+        }
     }
 
     /// The human-readable message carried by the error.
@@ -86,14 +140,24 @@ impl AggViewError {
             | AggViewError::Optimize(m)
             | AggViewError::Cancelled(m)
             | AggViewError::ResourceExhausted(m)
-            | AggViewError::Transient(m) => m,
+            | AggViewError::Transient(m)
+            | AggViewError::Io(m)
+            | AggViewError::Corrupt { message: m, .. } => m,
         }
     }
 }
 
 impl fmt::Display for AggViewError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} error: {}", self.kind(), self.message())
+        match self {
+            AggViewError::Corrupt { offset, record, .. } => write!(
+                f,
+                "{} error: {} (record {record} at byte offset {offset})",
+                self.kind(),
+                self.message()
+            ),
+            _ => write!(f, "{} error: {}", self.kind(), self.message()),
+        }
     }
 }
 
@@ -125,6 +189,12 @@ mod tests {
             AggViewError::Cancelled(String::new()),
             AggViewError::ResourceExhausted(String::new()),
             AggViewError::Transient(String::new()),
+            AggViewError::Io(String::new()),
+            AggViewError::Corrupt {
+                offset: 0,
+                record: 0,
+                message: String::new(),
+            },
         ];
         let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
@@ -133,17 +203,58 @@ mod tests {
     }
 
     #[test]
-    fn only_transient_is_retryable() {
+    fn only_transient_and_io_are_retryable() {
         assert!(AggViewError::Transient("scan glitch".into()).is_retryable());
+        assert!(AggViewError::Io("fsync failed".into()).is_retryable());
         for e in [
             AggViewError::Parse(String::new()),
             AggViewError::Exec(String::new()),
             AggViewError::PlanInvalid(String::new()),
             AggViewError::Cancelled(String::new()),
             AggViewError::ResourceExhausted(String::new()),
+            AggViewError::Corrupt {
+                offset: 16,
+                record: 2,
+                message: "bad crc".into(),
+            },
         ] {
             assert!(!e.is_retryable(), "{} must not be retryable", e.kind());
         }
+    }
+
+    #[test]
+    fn corrupt_carries_offset_and_record() {
+        let e = AggViewError::Corrupt {
+            offset: 128,
+            record: 3,
+            message: "crc mismatch".into(),
+        };
+        assert_eq!(e.kind(), "corrupt");
+        assert_eq!(e.message(), "crc mismatch");
+        let shown = e.to_string();
+        assert!(shown.contains("record 3"), "{shown}");
+        assert!(shown.contains("offset 128"), "{shown}");
+    }
+
+    #[test]
+    fn map_message_preserves_variant() {
+        let e = AggViewError::Transient("glitch".into()).map_message(|m| format!("{m} (retried)"));
+        assert_eq!(e.kind(), "transient");
+        assert_eq!(e.message(), "glitch (retried)");
+        let c = AggViewError::Corrupt {
+            offset: 1,
+            record: 2,
+            message: "bad".into(),
+        }
+        .map_message(|m| format!("{m}!"));
+        assert_eq!(
+            c,
+            AggViewError::Corrupt {
+                offset: 1,
+                record: 2,
+                message: "bad!".into()
+            }
+        );
     }
 
     #[test]

@@ -12,6 +12,68 @@
 use crate::error::{AggViewError, Result};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Every fault-injection site the workspace instruments, as registered
+/// prefixes: a consulted site string either equals a registered entry
+/// or extends it with a `.`-separated qualifier (`storage.scan.emp`
+/// matches the registered `storage.scan`).
+///
+/// New instrumentation points MUST be added here — the workspace-level
+/// `fault_sites` test asserts that every registered entry is exercised
+/// by the governance/recovery suites and that every consulted site
+/// resolves to exactly one registered entry, so an unregistered site
+/// (or one that silently goes untested) fails CI.
+pub const REGISTERED_FAULT_SITES: &[&str] = &[
+    // Execution-time sites (consulted via `fault()`).
+    "storage.scan",
+    "exec.join",
+    "exec.groupby",
+    "exec.partial-groupby",
+    // Durability IO sites (consulted via `io_fault()`).
+    "wal.append",
+    "wal.fsync",
+    "wal.truncate",
+    "snapshot.write",
+    "snapshot.fsync",
+    "snapshot.rename",
+];
+
+/// The registered entry a consulted site string resolves to, if any.
+pub fn registered_site(site: &str) -> Option<&'static str> {
+    REGISTERED_FAULT_SITES.iter().copied().find(|&r| {
+        site == r || (site.starts_with(r) && site.as_bytes().get(r.len()) == Some(&b'.'))
+    })
+}
+
+/// How an injected IO fault manifests at a durability site.
+///
+/// `Error` models fsync/rename failure (the operation performs no work
+/// and reports [`AggViewError::Io`]); the other two model what a crash
+/// can leave on disk: a prefix of the record (`ShortWrite`) or the
+/// record followed by stale bytes from recycled space
+/// (`TrailingGarbage`). Recovery must tolerate both tail shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoFaultKind {
+    /// The operation fails cleanly: nothing is written.
+    Error,
+    /// Only a prefix of the bytes reaches the file (torn write), then
+    /// the operation reports failure.
+    ShortWrite,
+    /// The full record reaches the file **followed by garbage bytes**;
+    /// the operation reports success (the garbage models recycled disk
+    /// space after the committed tail).
+    TrailingGarbage,
+}
+
+impl IoFaultKind {
+    /// All kinds, for exhaustive crash-point sweeps.
+    pub const ALL: &'static [IoFaultKind] = &[
+        IoFaultKind::Error,
+        IoFaultKind::ShortWrite,
+        IoFaultKind::TrailingGarbage,
+    ];
+}
 
 /// A hook consulted before fallible infrastructure work.
 ///
@@ -20,8 +82,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// operation proceed. `site` names the instrumentation point (e.g.
 /// `"storage.scan.emp"` or `"exec.join"`) so injectors can target
 /// specific operators.
+///
+/// Durability code additionally consults [`FaultInjector::io_fault`] at
+/// its IO boundaries (`wal.append`, `snapshot.rename`, ...), which can
+/// demand a *shaped* failure — torn write, trailing garbage — rather
+/// than a plain error. The default implementation injects nothing, so
+/// existing injectors are unaffected.
 pub trait FaultInjector: Send + Sync + fmt::Debug {
     fn fault(&self, site: &str) -> Result<()>;
+
+    /// Shaped IO fault to apply at a durability site, or `None` to let
+    /// the IO proceed untouched.
+    fn io_fault(&self, _site: &str) -> Option<IoFaultKind> {
+        None
+    }
 }
 
 /// Convenience: consult an optional injector (the common call shape).
@@ -153,6 +227,105 @@ impl FaultInjector for ScheduledFaults {
     }
 }
 
+/// Injects one shaped IO fault at the `nth` consultation (0-based) of
+/// one target site, and nothing anywhere else.
+///
+/// This is the building block of the crash-point harness: for every
+/// `(site, occurrence, kind)` triple it produces exactly the on-disk
+/// state a crash at that point would leave, deterministically.
+pub struct ScheduledIoFaults {
+    site: String,
+    nth: u64,
+    kind: IoFaultKind,
+    seen: AtomicU64,
+}
+
+impl ScheduledIoFaults {
+    /// Fault the `nth` consultation of `site` (exact match) with `kind`.
+    pub fn at(site: impl Into<String>, nth: u64, kind: IoFaultKind) -> ScheduledIoFaults {
+        ScheduledIoFaults {
+            site: site.into(),
+            nth,
+            kind,
+            seen: AtomicU64::new(0),
+        }
+    }
+
+    /// How many times the target site has been consulted.
+    pub fn hits(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    /// True once the scheduled fault has actually been delivered.
+    pub fn fired(&self) -> bool {
+        self.hits() > self.nth
+    }
+}
+
+impl fmt::Debug for ScheduledIoFaults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScheduledIoFaults")
+            .field("site", &self.site)
+            .field("nth", &self.nth)
+            .field("kind", &self.kind)
+            .field("hits", &self.hits())
+            .finish()
+    }
+}
+
+impl FaultInjector for ScheduledIoFaults {
+    fn fault(&self, _site: &str) -> Result<()> {
+        Ok(())
+    }
+
+    fn io_fault(&self, site: &str) -> Option<IoFaultKind> {
+        if site != self.site {
+            return None;
+        }
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        (n == self.nth).then_some(self.kind)
+    }
+}
+
+/// Never fails, but records every site consulted (both execution-time
+/// `fault` sites and durability `io_fault` sites). Backs the fault-site
+/// registry test: run a representative workload under a recorder and
+/// assert every [`REGISTERED_FAULT_SITES`] entry was consulted.
+#[derive(Debug, Default)]
+pub struct RecordingFaults {
+    sites: Mutex<Vec<String>>,
+}
+
+impl RecordingFaults {
+    pub fn new() -> RecordingFaults {
+        RecordingFaults::default()
+    }
+
+    fn record(&self, site: &str) {
+        let mut sites = self.sites.lock().expect("recorder poisoned");
+        if !sites.iter().any(|s| s == site) {
+            sites.push(site.to_string());
+        }
+    }
+
+    /// Distinct site strings consulted so far, in first-seen order.
+    pub fn sites(&self) -> Vec<String> {
+        self.sites.lock().expect("recorder poisoned").clone()
+    }
+}
+
+impl FaultInjector for RecordingFaults {
+    fn fault(&self, site: &str) -> Result<()> {
+        self.record(site);
+        Ok(())
+    }
+
+    fn io_fault(&self, site: &str) -> Option<IoFaultKind> {
+        self.record(site);
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +382,55 @@ mod tests {
         assert!(maybe_fault(None, "s").is_ok());
         let inj = ScheduledFaults::failing_calls([0]);
         assert!(maybe_fault(Some(&inj), "s").is_err());
+    }
+
+    #[test]
+    fn registry_entries_are_unique_and_prefix_free() {
+        for (i, a) in REGISTERED_FAULT_SITES.iter().enumerate() {
+            for b in &REGISTERED_FAULT_SITES[i + 1..] {
+                assert_ne!(a, b, "duplicate registry entry");
+                assert!(
+                    !b.starts_with(&format!("{a}.")) && !a.starts_with(&format!("{b}.")),
+                    "registry entries {a} and {b} shadow each other"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registered_site_matches_exact_and_qualified() {
+        assert_eq!(registered_site("exec.join"), Some("exec.join"));
+        assert_eq!(registered_site("storage.scan.emp"), Some("storage.scan"));
+        assert_eq!(registered_site("storage.scanner"), None);
+        assert_eq!(registered_site("bogus.site"), None);
+    }
+
+    #[test]
+    fn scheduled_io_faults_fire_exactly_once_at_nth() {
+        let inj = ScheduledIoFaults::at("wal.append", 2, IoFaultKind::ShortWrite);
+        assert_eq!(inj.io_fault("wal.fsync"), None, "other sites untouched");
+        assert_eq!(inj.io_fault("wal.append"), None);
+        assert_eq!(inj.io_fault("wal.append"), None);
+        assert!(!inj.fired());
+        assert_eq!(inj.io_fault("wal.append"), Some(IoFaultKind::ShortWrite));
+        assert!(inj.fired());
+        assert_eq!(inj.io_fault("wal.append"), None, "fires only once");
+        assert!(inj.fault("anything").is_ok());
+    }
+
+    #[test]
+    fn default_io_fault_is_none() {
+        assert_eq!(NoFaults.io_fault("wal.append"), None);
+        let sched = ScheduledFaults::failing_calls([0]);
+        assert_eq!(sched.io_fault("wal.append"), None);
+    }
+
+    #[test]
+    fn recorder_collects_distinct_sites() {
+        let rec = RecordingFaults::new();
+        rec.fault("exec.join").unwrap();
+        rec.fault("exec.join").unwrap();
+        assert_eq!(rec.io_fault("wal.append"), None);
+        assert_eq!(rec.sites(), vec!["exec.join", "wal.append"]);
     }
 }

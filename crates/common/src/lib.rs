@@ -35,7 +35,10 @@ pub mod value;
 pub use agg::{AggAccumulator, AggFunc, AggSpec, PartialAggState};
 pub use error::{AggViewError, Result};
 pub use expr::{BinaryOp, Expr};
-pub use fault::{FaultInjector, NoFaults, ScheduledFaults, SeededFaultInjector};
+pub use fault::{
+    registered_site, FaultInjector, IoFaultKind, NoFaults, RecordingFaults, ScheduledFaults,
+    ScheduledIoFaults, SeededFaultInjector, REGISTERED_FAULT_SITES,
+};
 pub use hash::{hash_key, hash_values, key_matches_row, keys_equal, PrehashedMap};
 pub use ids::{AggRef, Col, ColRef, PartRef, RelId, ViewId};
 pub use predicate::{CmpOp, Predicate};

@@ -57,7 +57,7 @@ pub fn build_extent(
     let rows = rows_of(gt, def)?;
     let n = rows.len();
     let extent = materialize(def, catalog, rows)?;
-    catalog.add_or_replace(extent);
+    catalog.add_or_replace(extent)?;
     let meta = MatViewMeta {
         def: def.clone(),
         extent: MatViewMeta::extent_name(&def.name),
@@ -65,7 +65,7 @@ pub fn build_extent(
         base_versions: versions,
     };
     if catalog.matview(&def.name).is_some() {
-        catalog.update_matview(meta);
+        catalog.update_matview(meta)?;
     } else {
         catalog.register_matview(meta)?;
     }
@@ -155,9 +155,9 @@ pub fn apply_delta(
     let tmp = Catalog::new();
     for name in &def.tables {
         if name.eq_ignore_ascii_case(table) {
-            tmp.add_or_replace(Arc::clone(&delta_table));
+            tmp.add_or_replace(Arc::clone(&delta_table))?;
         } else {
-            tmp.add_or_replace(catalog.get(name)?);
+            tmp.add_or_replace(catalog.get(name)?)?;
         }
     }
     let plan = spj_plan(def, &tmp)?;
@@ -186,12 +186,12 @@ pub fn apply_delta(
 
     let rows = rows_of(gt, def)?;
     let rebuilt = materialize(def, catalog, rows)?;
-    catalog.add_or_replace(rebuilt);
+    catalog.add_or_replace(rebuilt)?;
     // Stamp the versions verified above, not a re-read: a concurrent
     // modification between the check and here must leave the extent
     // marked stale, not be laundered into "fresh".
     meta.base_versions = versions;
-    catalog.update_matview(meta);
+    catalog.update_matview(meta)?;
     Ok(true)
 }
 
@@ -216,6 +216,19 @@ pub fn maintain_after_insert(
         maintained.push(name);
     }
     Ok(maintained)
+}
+
+/// Re-verify every materialized view after crash recovery, quarantining
+/// any whose structure no longer checks out (missing or arity-mangled
+/// extent, missing base table). Returns the names of quarantined views.
+///
+/// Freshness itself needs no work here: recovery restores base-table
+/// version counters and recorded `base_versions` exactly, so
+/// [`MatViewMeta::is_stale`] gives the committed answer. This pass only
+/// ever *demotes* — a view can come back from a crash stale when it was
+/// fresh (its extent did not survive), never the other way around.
+pub fn reverify_on_recovery(catalog: &Catalog) -> Vec<String> {
+    catalog.reverify_matviews()
 }
 
 /// The view's pure SPJ plan in its local frame: one scan per table
@@ -533,7 +546,7 @@ mod tests {
         // Drift on the *other* base table also refuses incremental:
         // the delta-substituted plan would read dept rows the recorded
         // versions never covered.
-        cat.mark_modified("dept");
+        cat.mark_modified("dept").unwrap();
         let delta2 = vec![Tuple::new(vec![
             Value::Int(9101),
             "kai".into(),

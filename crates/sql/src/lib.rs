@@ -32,4 +32,4 @@ pub mod session;
 
 pub use binder::{bind, bind_matview, BoundQuery};
 pub use parser::parse;
-pub use session::{Session, SqlResult};
+pub use session::{retry_backoff, Session, SqlResult, RETRY_BACKOFF_BASE, RETRY_BACKOFF_CAP};

@@ -11,6 +11,25 @@ use aggview_core::optimizer::multi_view::{optimize_governed, Optimized};
 use aggview_core::OptimizerConfig;
 use aggview_executor::{Engine, ExecOptions};
 use aggview_storage::Catalog;
+use std::path::Path;
+use std::time::Duration;
+
+/// Deterministic exponential backoff before retry `attempt` (1-based):
+/// 1 ms, 2 ms, 4 ms, ... capped at [`RETRY_BACKOFF_CAP`]. A pure
+/// function of the attempt number — no wall clock, no randomness — so a
+/// statement's retry schedule is fully reproducible.
+pub fn retry_backoff(attempt: u32) -> Duration {
+    let exp = attempt.saturating_sub(1).min(6);
+    RETRY_BACKOFF_BASE
+        .saturating_mul(1 << exp)
+        .min(RETRY_BACKOFF_CAP)
+}
+
+/// First retry waits this long; each further retry doubles it.
+pub const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(1);
+
+/// Backoff ceiling: retries never wait longer than this.
+pub const RETRY_BACKOFF_CAP: Duration = Duration::from_millis(64);
 
 /// The result of running a SELECT through the session.
 #[derive(Debug, Clone)]
@@ -106,9 +125,28 @@ impl Session {
         }
     }
 
+    /// Create a session over a **durable** catalog rooted at `dir`,
+    /// recovering any previously committed state (see
+    /// [`Catalog::open`]). Every DML statement the session executes is
+    /// then written ahead to the WAL before it is applied.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Session> {
+        Ok(Session::new(Catalog::open(dir)?))
+    }
+
     /// The underlying catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// True when this session's catalog persists its mutations.
+    pub fn is_durable(&self) -> bool {
+        self.catalog.is_durable()
+    }
+
+    /// Fold the catalog's committed state into a snapshot and truncate
+    /// its WAL. Errors on a non-durable session.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.catalog.checkpoint()
     }
 
     /// Install (or clear) a fault injector consulted at storage scans
@@ -356,6 +394,16 @@ impl Session {
                 }
                 Err(e) if e.is_retryable() && attempt < self.max_retries => {
                     attempt += 1;
+                    std::thread::sleep(retry_backoff(attempt));
+                }
+                Err(e) if e.is_retryable() => {
+                    // Retries exhausted: surface the attempt count in
+                    // the error without laundering its variant (the
+                    // caller can still see it was retryable).
+                    let attempts = attempt + 1;
+                    return Err(
+                        e.map_message(|m| format!("{m} (gave up after {attempts} attempt(s))"))
+                    );
                 }
                 Err(e) => return Err(e),
             }
@@ -613,12 +661,31 @@ mod tests {
         assert!(!r.rows.is_empty());
 
         // More consecutive failures than max_retries allows: the error
-        // surfaces, structured and retryable, with no panic.
+        // surfaces, structured and retryable, with no panic, carrying
+        // the attempt count.
         s.max_retries = 1;
         s.set_fault_injector(Some(Box::new(ScheduledFaults::failing_calls(0..100))));
         let err = s.execute("select eno from emp").unwrap_err();
         assert_eq!(err.kind(), "transient");
         assert!(err.is_retryable());
+        assert!(
+            err.message().contains("gave up after 2 attempt(s)"),
+            "exhaustion must surface the attempt count: {err}"
+        );
+    }
+
+    #[test]
+    fn retry_backoff_is_pure_doubling_and_capped() {
+        assert_eq!(retry_backoff(1), Duration::from_millis(1));
+        assert_eq!(retry_backoff(2), Duration::from_millis(2));
+        assert_eq!(retry_backoff(3), Duration::from_millis(4));
+        assert_eq!(retry_backoff(7), Duration::from_millis(64));
+        assert_eq!(retry_backoff(8), RETRY_BACKOFF_CAP);
+        assert_eq!(retry_backoff(u32::MAX), RETRY_BACKOFF_CAP);
+        // Pure: same input, same output — no hidden clock or RNG.
+        for a in 0..10 {
+            assert_eq!(retry_backoff(a), retry_backoff(a));
+        }
     }
 
     #[test]
@@ -838,6 +905,74 @@ mod matview_tests {
         assert!(err.message().contains("literal"), "{err}");
         let err = s.execute("refresh materialized view ghost").unwrap_err();
         assert!(err.message().contains("unknown materialized view"));
+    }
+}
+
+#[cfg(test)]
+mod durable_tests {
+    use super::*;
+    use aggview_common::{DataType, Schema};
+    use aggview_storage::Table;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("aggview-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn emp_table() -> std::sync::Arc<Table> {
+        Table::builder(
+            "emp",
+            Schema::of(&[
+                ("eno", DataType::Int),
+                ("dno", DataType::Int),
+                ("sal", DataType::Float),
+            ]),
+        )
+        .primary_key(&["eno"])
+        .unwrap()
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn durable_session_survives_reopen_and_checkpoint() {
+        let dir = tmpdir("roundtrip");
+        {
+            let mut s = Session::open(&dir).unwrap();
+            assert!(s.is_durable());
+            s.catalog().add(emp_table()).unwrap();
+            s.execute("insert into emp values (1, 0, 10.0)").unwrap();
+            s.execute(
+                "create materialized view dsal(dno, total) as \
+                 select dno, sum(sal) from emp group by dno",
+            )
+            .unwrap();
+            s.execute("insert into emp values (2, 0, 5.0)").unwrap();
+        } // session dropped without any shutdown ceremony — the WAL has it all
+        let mut s2 = Session::open(&dir).unwrap();
+        let r = s2.execute("select eno from emp order by eno").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let meta = s2.catalog().matview("dsal").unwrap();
+        assert!(
+            !meta.is_stale(s2.catalog()),
+            "maintained view must recover fresh: versions restored exactly"
+        );
+        s2.checkpoint().unwrap();
+        drop(s2);
+        let mut s3 = Session::open(&dir).unwrap();
+        assert_eq!(s3.catalog().get("emp").unwrap().len(), 2);
+        let r = s3.execute("select eno from emp order by eno").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_session_rejects_checkpoint() {
+        let s = Session::new(Catalog::new());
+        assert!(!s.is_durable());
+        assert_eq!(s.checkpoint().unwrap_err().kind(), "catalog");
     }
 }
 

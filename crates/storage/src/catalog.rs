@@ -1,12 +1,46 @@
-//! The table catalog.
+//! The table catalog, with optional crash-consistent durability.
+//!
+//! A catalog built with [`Catalog::new`] is purely in-memory: mutations
+//! touch no files and pay only an `Option` check. A catalog built with
+//! [`Catalog::open`] is *durable*: every mutation is written ahead to a
+//! checksummed log ([`crate::wal`]) before it is applied in memory, and
+//! [`Catalog::checkpoint`] folds the log into an atomic snapshot
+//! ([`crate::snapshot`]). Reopening the same directory recovers by
+//! loading the latest valid snapshot and replaying the committed log
+//! suffix — restoring tables, per-table version counters, and
+//! materialized-view metadata exactly as they were at the last
+//! committed mutation.
+//!
+//! Recovery invariants (exercised by the crash-point harness in
+//! `tests/durability_recovery.rs`):
+//!
+//! * **recovered == committed**: a mutation whose call returned `Ok` is
+//!   present after recovery; one that returned `Err` is absent.
+//! * **idempotent replay**: recovering twice (or recovering a recovered
+//!   directory) yields the identical catalog.
+//! * **staleness across crashes**: a materialized view may come back
+//!   *stale* (its extent or bases could not be re-verified — it is
+//!   quarantined), but never fresher than its bases.
+//!
+//! Lock ordering is `tables → versions → matviews → wal`, acquired
+//! strictly in that order (skipping is fine, back-acquisition is not);
+//! mutators hold the in-memory locks across the WAL append so that
+//! replay order always equals application order.
 
 use crate::matview::MatViewMeta;
+use crate::snapshot::{Snapshot, TableSnap};
 use crate::stats::TableStats;
 use crate::table::Table;
-use aggview_common::{AggViewError, Result, Tuple};
-use parking_lot::RwLock;
+use crate::wal::{WalContents, WalReader, WalRecord, WalWriter};
+use aggview_common::{AggViewError, FaultInjector, NoFaults, Result, Tuple};
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// WAL file name within a durable catalog directory.
+pub const WAL_FILE: &str = "wal.agv";
 
 /// Per-table modification bookkeeping.
 ///
@@ -22,6 +56,15 @@ struct TableVersions {
     stats: u64,
 }
 
+/// The durable half of a catalog: where it lives, its open WAL, and the
+/// fault injector consulted at IO sites.
+#[derive(Debug)]
+struct Durable {
+    dir: PathBuf,
+    wal: Mutex<WalWriter>,
+    faults: RwLock<Arc<dyn FaultInjector>>,
+}
+
 /// A concurrent name → table registry.
 ///
 /// Names are case-insensitive (normalized to lowercase), matching SQL
@@ -31,17 +74,237 @@ struct TableVersions {
 /// Beyond plain tables the catalog also tracks per-table modification
 /// counters (the staleness basis for statistics and materialized views)
 /// and the registry of [`MatViewMeta`] entries describing materialized
-/// aggregate-view extents.
+/// aggregate-view extents. See the module docs for the optional
+/// durability layer.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
     versions: RwLock<BTreeMap<String, TableVersions>>,
     matviews: RwLock<BTreeMap<String, MatViewMeta>>,
+    durable: Option<Durable>,
+}
+
+fn bump_entry(vers: &mut BTreeMap<String, TableVersions>, key: &str) {
+    let e = vers.entry(key.to_string()).or_default();
+    e.data += 1;
+    // The immutable-rebuild discipline recomputes statistics with the
+    // data, so registration brings them back in sync.
+    e.stats = e.data;
+}
+
+/// Reconstruct a live table from its persisted parts. Key declarations
+/// are stored as column ordinals; the builder wants names, so resolve
+/// through the schema.
+fn rebuild_table(snap: &TableSnap) -> Result<Arc<Table>> {
+    let name_of = |i: usize| -> Result<String> {
+        if i >= snap.schema.len() {
+            return Err(AggViewError::Corrupt {
+                offset: 0,
+                record: 0,
+                message: format!(
+                    "table `{}` key references column {i} beyond arity {}",
+                    snap.name,
+                    snap.schema.len()
+                ),
+            });
+        }
+        Ok(snap.schema.field(i).name.clone())
+    };
+    let mut b = Table::builder(snap.name.clone(), snap.schema.clone());
+    if let Some(pk) = &snap.primary_key {
+        let names = pk
+            .cols
+            .iter()
+            .map(|&i| name_of(i))
+            .collect::<Result<Vec<_>>>()?;
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b = b.primary_key(&refs)?;
+    }
+    for fk in &snap.foreign_keys {
+        let names = fk
+            .cols
+            .iter()
+            .map(|&i| name_of(i))
+            .collect::<Result<Vec<_>>>()?;
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b = b.foreign_key(&refs, &fk.parent, &fk.parent_cols)?;
+    }
+    for row in &snap.rows {
+        b.push(row.clone())?;
+    }
+    b.build()
 }
 
 impl Catalog {
+    /// A purely in-memory catalog: no directory, no WAL, zero IO.
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// Open (or create) a durable catalog rooted at `dir`, recovering
+    /// any previously committed state.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Catalog> {
+        Catalog::open_with_faults(dir, Arc::new(NoFaults))
+    }
+
+    /// [`Catalog::open`] with a fault injector consulted at every
+    /// durability IO site (`wal.append`, `snapshot.rename`, ...).
+    /// Recovery itself reads without injection — the injector shapes
+    /// *future* writes.
+    pub fn open_with_faults(
+        dir: impl AsRef<Path>,
+        faults: Arc<dyn FaultInjector>,
+    ) -> Result<Catalog> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| AggViewError::Io(format!("create catalog directory: {e}")))?;
+        let snap = Snapshot::read(&dir)?.unwrap_or_default();
+        let cat = Catalog::new();
+        {
+            let mut tables = cat.tables.write();
+            for t in &snap.tables {
+                tables.insert(t.name.to_ascii_lowercase(), rebuild_table(t)?);
+            }
+            let mut vers = cat.versions.write();
+            for (name, data, stats) in &snap.versions {
+                vers.insert(
+                    name.clone(),
+                    TableVersions {
+                        data: *data,
+                        stats: *stats,
+                    },
+                );
+            }
+            let mut mvs = cat.matviews.write();
+            for m in &snap.matviews {
+                mvs.insert(m.def.name.to_ascii_lowercase(), m.clone());
+            }
+        }
+        let wal_path = dir.join(WAL_FILE);
+        let contents = WalReader::read_committed(&wal_path)?;
+        cat.replay(&snap, &contents)?;
+        cat.reverify_matviews();
+        let min_next_lsn = if snap.any_covered {
+            snap.last_lsn + 1
+        } else {
+            0
+        };
+        let wal = WalWriter::open(&wal_path, &contents, min_next_lsn)?;
+        Ok(Catalog {
+            durable: Some(Durable {
+                dir,
+                wal: Mutex::new(wal),
+                faults: RwLock::new(faults),
+            }),
+            ..cat
+        })
+    }
+
+    fn replay(&self, snap: &Snapshot, contents: &WalContents) -> Result<()> {
+        for (i, (lsn, rec)) in contents.records.iter().enumerate() {
+            if snap.covers(*lsn) {
+                // The snapshot already reflects this record — the crash
+                // landed between its rename and the WAL truncation.
+                continue;
+            }
+            self.apply(rec).map_err(|e| {
+                // A committed record that cannot re-apply means log and
+                // state disagree — corruption, not a user error.
+                let offset = if i == 0 {
+                    crate::wal::WAL_MAGIC.len() as u64
+                } else {
+                    contents.frame_ends[i - 1]
+                };
+                AggViewError::Corrupt {
+                    offset,
+                    record: i as u64,
+                    message: format!("WAL replay failed: {}", e.message()),
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Apply one WAL record to in-memory state (the non-logging path
+    /// used by replay). Mirrors the public mutators exactly, so replay
+    /// reproduces the same tables, statistics, and version counters.
+    fn apply(&self, rec: &WalRecord) -> Result<()> {
+        match rec {
+            WalRecord::PutTable {
+                name,
+                schema,
+                primary_key,
+                foreign_keys,
+                rows,
+                replace,
+            } => {
+                let table = rebuild_table(&TableSnap {
+                    name: name.clone(),
+                    schema: schema.clone(),
+                    primary_key: primary_key.clone(),
+                    foreign_keys: foreign_keys.clone(),
+                    rows: rows.clone(),
+                })?;
+                let key = name.to_ascii_lowercase();
+                let mut map = self.tables.write();
+                if !replace && map.contains_key(&key) {
+                    return Err(AggViewError::Catalog(format!(
+                        "table `{name}` already exists"
+                    )));
+                }
+                map.insert(key.clone(), table);
+                bump_entry(&mut self.versions.write(), &key);
+            }
+            WalRecord::InsertBatch { table, rows } => {
+                self.append_rows_impl(table, rows.clone(), false)?;
+            }
+            WalRecord::MarkModified { table } => {
+                self.versions
+                    .write()
+                    .entry(table.to_ascii_lowercase())
+                    .or_default()
+                    .data += 1;
+            }
+            WalRecord::PutMatView { meta } => {
+                self.matviews
+                    .write()
+                    .insert(meta.def.name.to_ascii_lowercase(), meta.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Append one record to the WAL, if this catalog is durable. The
+    /// closure defers record construction (and its row cloning) so the
+    /// in-memory path pays nothing.
+    fn log_with(&self, make: impl FnOnce() -> WalRecord) -> Result<()> {
+        if let Some(d) = &self.durable {
+            let faults = d.faults.read().clone();
+            d.wal.lock().append(&make(), faults.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// True when this catalog persists its mutations.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The durable directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Swap the fault injector consulted at durability IO sites.
+    /// Returns `false` (and does nothing) on an in-memory catalog.
+    pub fn set_io_faults(&self, faults: Arc<dyn FaultInjector>) -> bool {
+        match &self.durable {
+            Some(d) => {
+                *d.faults.write() = faults;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Register a table; rejects duplicates.
@@ -54,17 +317,26 @@ impl Catalog {
                 table.name()
             )));
         }
+        let mut vers = self.versions.write();
+        self.log_with(|| WalRecord::put_table(&table, false))?;
         map.insert(key.clone(), table);
-        drop(map);
-        self.bump(&key);
+        bump_entry(&mut vers, &key);
         Ok(())
     }
 
     /// Register a table, replacing any existing one with the same name.
-    pub fn add_or_replace(&self, table: Arc<Table>) {
+    ///
+    /// On an in-memory catalog this cannot fail; on a durable one the
+    /// write-ahead append can, in which case the in-memory state is
+    /// untouched (the mutation did not commit).
+    pub fn add_or_replace(&self, table: Arc<Table>) -> Result<()> {
         let key = table.name().to_ascii_lowercase();
-        self.tables.write().insert(key.clone(), table);
-        self.bump(&key);
+        let mut map = self.tables.write();
+        let mut vers = self.versions.write();
+        self.log_with(|| WalRecord::put_table(&table, true))?;
+        map.insert(key.clone(), table);
+        bump_entry(&mut vers, &key);
+        Ok(())
     }
 
     /// Look up a table by name.
@@ -98,15 +370,6 @@ impl Catalog {
 
     // ---- modification counters -------------------------------------
 
-    fn bump(&self, key: &str) {
-        let mut v = self.versions.write();
-        let e = v.entry(key.to_string()).or_default();
-        e.data += 1;
-        // The immutable-rebuild discipline recomputes statistics with the
-        // data, so registration brings them back in sync.
-        e.stats = e.data;
-    }
-
     /// Current data version of a table (0 when never registered).
     pub fn data_version(&self, name: &str) -> u64 {
         self.versions
@@ -134,9 +397,12 @@ impl Catalog {
 
     /// Record an out-of-band data modification without re-analyzed stats
     /// (marks the table's statistics stale until it is re-registered).
-    pub fn mark_modified(&self, name: &str) {
-        let mut v = self.versions.write();
-        v.entry(name.to_ascii_lowercase()).or_default().data += 1;
+    pub fn mark_modified(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut vers = self.versions.write();
+        self.log_with(|| WalRecord::MarkModified { table: key.clone() })?;
+        vers.entry(key).or_default().data += 1;
+        Ok(())
     }
 
     /// The table's statistics, stamped with the version they were
@@ -158,8 +424,15 @@ impl Catalog {
     ///
     /// The tables write lock is held across the read-rebuild-swap, so
     /// concurrent appends to the same table serialize and neither batch
-    /// is lost (readers block for the rebuild's duration).
+    /// is lost (readers block for the rebuild's duration). On a durable
+    /// catalog the batch is validated *before* it is logged: a batch
+    /// that fails validation (arity, type, duplicate key) produces no
+    /// WAL record at all.
     pub fn append_rows(&self, name: &str, rows: Vec<Tuple>) -> Result<usize> {
+        self.append_rows_impl(name, rows, true)
+    }
+
+    fn append_rows_impl(&self, name: &str, rows: Vec<Tuple>, log: bool) -> Result<usize> {
         let key = name.to_ascii_lowercase();
         let mut map = self.tables.write();
         let old = map
@@ -189,13 +462,24 @@ impl Catalog {
         for row in old.rows() {
             b.push(row.clone())?;
         }
+        let logged_rows = if log && self.durable.is_some() {
+            Some(rows.clone())
+        } else {
+            None
+        };
         for row in rows {
             b.push(row)?;
         }
         let table = b.build()?;
+        let mut vers = self.versions.write();
+        if let Some(batch) = logged_rows {
+            self.log_with(|| WalRecord::InsertBatch {
+                table: key.clone(),
+                rows: batch,
+            })?;
+        }
         map.insert(key.clone(), table);
-        drop(map);
-        self.bump(&key);
+        bump_entry(&mut vers, &key);
         Ok(prev_len)
     }
 
@@ -211,14 +495,18 @@ impl Catalog {
                 meta.def.name
             )));
         }
+        self.log_with(|| WalRecord::PutMatView { meta: meta.clone() })?;
         map.insert(key, meta);
         Ok(())
     }
 
     /// Replace a materialized view's metadata (after refresh/maintenance).
-    pub fn update_matview(&self, meta: MatViewMeta) {
+    pub fn update_matview(&self, meta: MatViewMeta) -> Result<()> {
         let key = meta.def.name.to_ascii_lowercase();
-        self.matviews.write().insert(key, meta);
+        let mut map = self.matviews.write();
+        self.log_with(|| WalRecord::PutMatView { meta: meta.clone() })?;
+        map.insert(key, meta);
+        Ok(())
     }
 
     /// Metadata for one materialized view.
@@ -243,6 +531,156 @@ impl Catalog {
             .cloned()
             .collect()
     }
+
+    /// Quarantine every materialized view whose structure cannot be
+    /// re-verified against the current tables: a missing base table, a
+    /// missing extent table, or an extent whose arity disagrees with
+    /// the definition's layout. Returns the quarantined names.
+    ///
+    /// Recovery runs this after replay. The direction is deliberately
+    /// one-way: a view can be demoted to (unconditionally) stale, never
+    /// promoted — freshness only ever comes from comparing the recorded
+    /// base versions, which recovery restored exactly.
+    pub fn reverify_matviews(&self) -> Vec<String> {
+        let tables = self.tables.read();
+        let mut mvs = self.matviews.write();
+        let mut quarantined = Vec::new();
+        for (name, meta) in mvs.iter_mut() {
+            if meta.is_quarantined() {
+                continue;
+            }
+            let bases_ok = meta
+                .def
+                .tables
+                .iter()
+                .all(|t| tables.contains_key(&t.to_ascii_lowercase()));
+            let extent_ok = tables
+                .get(&meta.extent.to_ascii_lowercase())
+                .is_some_and(|t| t.schema().len() == meta.layout.width);
+            if !bases_ok || !extent_ok {
+                meta.quarantine();
+                quarantined.push(name.clone());
+            }
+        }
+        quarantined
+    }
+
+    // ---- durability ------------------------------------------------
+
+    /// Fold all committed state into a fresh snapshot and truncate the
+    /// WAL. Errors on an in-memory catalog.
+    ///
+    /// The snapshot is written atomically (temp + fsync + rename)
+    /// *before* the WAL is truncated, so a crash anywhere inside the
+    /// checkpoint loses nothing: recovery uses the surviving snapshot
+    /// and skips any WAL records it already covers (by LSN).
+    pub fn checkpoint(&self) -> Result<()> {
+        let d = self.durable.as_ref().ok_or_else(|| {
+            AggViewError::Catalog("checkpoint requires a durable catalog (Catalog::open)".into())
+        })?;
+        let tables = self.tables.read();
+        let vers = self.versions.read();
+        let mvs = self.matviews.read();
+        let mut wal = d.wal.lock();
+        let next = wal.next_lsn();
+        let snap = Snapshot {
+            last_lsn: next.saturating_sub(1),
+            any_covered: next > 0,
+            tables: tables
+                .values()
+                .map(|t| TableSnap {
+                    name: t.name().to_string(),
+                    schema: t.schema().clone(),
+                    primary_key: t.primary_key().cloned(),
+                    foreign_keys: t.foreign_keys().to_vec(),
+                    rows: t.rows().to_vec(),
+                })
+                .collect(),
+            versions: vers
+                .iter()
+                .map(|(k, v)| (k.clone(), v.data, v.stats))
+                .collect(),
+            matviews: mvs.values().cloned().collect(),
+        };
+        let faults = d.faults.read().clone();
+        snap.write(&d.dir, faults.as_ref())?;
+        wal.truncate_all(faults.as_ref())?;
+        Ok(())
+    }
+
+    /// Copy every table and materialized view from `src` into this
+    /// catalog (used to seed a freshly opened durable directory from an
+    /// in-memory session). Version lineage starts over; a view that was
+    /// fresh in `src` has its base versions re-anchored to the new
+    /// counters, and one that was stale arrives quarantined — seeding
+    /// never launders staleness.
+    pub fn import_from(&self, src: &Catalog) -> Result<()> {
+        for name in src.table_names() {
+            self.add_or_replace(src.get(&name)?)?;
+        }
+        for vname in src.matview_names() {
+            let Some(mut meta) = src.matview(&vname) else {
+                continue;
+            };
+            if meta.is_stale(src) {
+                meta.quarantine();
+            } else {
+                meta.base_versions = meta
+                    .def
+                    .tables
+                    .iter()
+                    .map(|t| self.data_version(t))
+                    .collect();
+            }
+            self.update_matview(meta)?;
+        }
+        Ok(())
+    }
+
+    /// A deterministic, human-readable dump of the complete catalog
+    /// state: every table (schema, keys, rows), every version counter,
+    /// every materialized view. Two catalogs with equal dumps are
+    /// equal for durability purposes — the recovery tests compare dumps
+    /// of recovered and reference catalogs.
+    pub fn describe_state(&self) -> String {
+        let tables = self.tables.read();
+        let vers = self.versions.read();
+        let mvs = self.matviews.read();
+        let mut out = String::new();
+        for (key, t) in tables.iter() {
+            let cols: Vec<String> = t
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| format!("{}:{}", f.name, f.ty))
+                .collect();
+            let _ = writeln!(
+                out,
+                "table {key} name={} schema=[{}] pk={:?} fks={:?}",
+                t.name(),
+                cols.join(","),
+                t.primary_key().map(|pk| pk.cols.clone()),
+                t.foreign_keys()
+                    .iter()
+                    .map(|fk| format!("{:?}->{}{:?}", fk.cols, fk.parent, fk.parent_cols))
+                    .collect::<Vec<_>>(),
+            );
+            for row in t.rows() {
+                let _ = writeln!(out, "  row {row}");
+            }
+        }
+        for (k, v) in vers.iter() {
+            let _ = writeln!(out, "version {k} data={} stats={}", v.data, v.stats);
+        }
+        for (k, m) in mvs.iter() {
+            let _ = writeln!(
+                out,
+                "matview {k} extent={} tables={:?} base_versions={:?}",
+                m.extent, m.def.tables, m.base_versions
+            );
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +701,8 @@ mod tests {
         assert!(c.contains("EMP"));
         assert_eq!(c.get("emp").unwrap().name(), "Emp");
         assert_eq!(c.len(), 1);
+        assert!(!c.is_durable());
+        assert!(c.dir().is_none());
     }
 
     #[test]
@@ -277,7 +717,7 @@ mod tests {
     fn add_or_replace_overwrites() {
         let c = Catalog::new();
         c.add(table("t")).unwrap();
-        c.add_or_replace(table("t"));
+        c.add_or_replace(table("t")).unwrap();
         assert_eq!(c.len(), 1);
     }
 
@@ -303,10 +743,10 @@ mod tests {
         c.add(table("t")).unwrap();
         assert_eq!(c.data_version("t"), 1);
         assert!(c.stats_fresh("t"));
-        c.mark_modified("t");
+        c.mark_modified("t").unwrap();
         assert_eq!(c.data_version("t"), 2);
         assert!(!c.stats_fresh("t"));
-        c.add_or_replace(table("t"));
+        c.add_or_replace(table("t")).unwrap();
         assert_eq!(c.data_version("t"), 3);
         assert!(c.stats_fresh("t"));
         assert_eq!(c.stats_of("t").unwrap().version, 3);
@@ -354,5 +794,23 @@ mod tests {
         assert_eq!(c.get("t").unwrap().len(), 8);
         assert_eq!(c.data_version("t"), 9);
         assert!(c.stats_fresh("t"));
+    }
+
+    #[test]
+    fn checkpoint_and_io_faults_require_durable() {
+        let c = Catalog::new();
+        assert_eq!(c.checkpoint().unwrap_err().kind(), "catalog");
+        assert!(!c.set_io_faults(Arc::new(NoFaults)));
+    }
+
+    #[test]
+    fn describe_state_distinguishes_content() {
+        let a = Catalog::new();
+        let b = Catalog::new();
+        a.add(table("t")).unwrap();
+        b.add(table("t")).unwrap();
+        assert_eq!(a.describe_state(), b.describe_state());
+        b.append_rows("t", vec![tuple![5i64]]).unwrap();
+        assert_ne!(a.describe_state(), b.describe_state());
     }
 }

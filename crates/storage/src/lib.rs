@@ -19,16 +19,21 @@
 #![forbid(unsafe_code)]
 
 pub mod catalog;
+pub mod codec;
 pub mod datagen;
 pub mod keys;
 pub mod matview;
 pub mod page;
+pub mod snapshot;
 pub mod stats;
 pub mod table;
+pub mod wal;
 
 pub use catalog::Catalog;
 pub use keys::{ForeignKey, PrimaryKey};
 pub use matview::{stores_partial_state, AggColumns, ExtentLayout, MatViewDef, MatViewMeta};
 pub use page::PageModel;
+pub use snapshot::Snapshot;
 pub use stats::{ColumnStats, Histogram, TableStats};
 pub use table::{Table, TableBuilder};
+pub use wal::{WalReader, WalRecord, WalWriter};

@@ -136,7 +136,7 @@ impl ExtentLayout {
 /// Catalog metadata for one materialized view: definition, extent table
 /// name, physical layout, and the base-table data versions the extent was
 /// last built from (the staleness basis).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatViewMeta {
     pub def: MatViewDef,
     /// Name of the extent table in the catalog (`__mv_<view>`).
@@ -162,6 +162,30 @@ impl MatViewMeta {
             .iter()
             .zip(&self.base_versions)
             .any(|(t, &v)| catalog.data_version(t) != v)
+    }
+
+    /// Sentinel base version that can never match a real
+    /// `Catalog::data_version` (version counters start at 1 and are
+    /// incremented one mutation at a time, so they cannot reach
+    /// `u64::MAX`). A quarantined extent is therefore *unconditionally
+    /// stale* until an explicit `REFRESH` rebuilds it.
+    pub const QUARANTINED: u64 = u64::MAX;
+
+    /// Mark this extent unconditionally stale. Crash recovery applies
+    /// this to any view whose recorded base versions cannot be
+    /// re-verified against the recovered tables (e.g. the extent table
+    /// itself was lost to an unlucky crash): across a crash, a
+    /// materialized view may be *demoted* to stale but never promoted
+    /// to fresh.
+    pub fn quarantine(&mut self) {
+        for v in &mut self.base_versions {
+            *v = MatViewMeta::QUARANTINED;
+        }
+    }
+
+    /// True when [`MatViewMeta::quarantine`] has marked this extent.
+    pub fn is_quarantined(&self) -> bool {
+        self.base_versions.contains(&MatViewMeta::QUARANTINED)
     }
 }
 

@@ -1,0 +1,622 @@
+//! Write-ahead log for catalog mutations.
+//!
+//! The WAL is *logical*: one record per catalog mutation (table
+//! registration, insert batch, modification mark, materialized-view
+//! metadata upsert), replayed through the catalog's own non-logging
+//! apply path on recovery. Logging at mutation granularity keeps the
+//! format small and makes replay trivially deterministic — the same
+//! records through the same code produce the same tables, statistics,
+//! and version counters.
+//!
+//! ## File format
+//!
+//! ```text
+//! "AGVWAL01"                                    file magic, 8 bytes
+//! repeat:                                       one frame per record
+//!   [u32 len] [u32 crc32(payload)] [payload]    little-endian
+//!   payload = [u64 lsn] [u8 kind] [body]
+//! ```
+//!
+//! Appends go through **write then fsync**; a record is *committed*
+//! once its fsync returns. A crash mid-append can leave a torn final
+//! frame (a prefix of it) or committed frames followed by recycled-disk
+//! garbage; [`WalReader::read_committed`] stops at the first frame that
+//! does not parse cleanly and treats everything before it as the
+//! committed log. A frame whose CRC validates but whose payload fails
+//! to decode is **corruption**, not a torn tail — fsynced bytes do not
+//! spontaneously half-decode — and surfaces as
+//! [`AggViewError::Corrupt`] with the file offset and record index.
+//!
+//! Fault injection: [`WalWriter::append`] consults
+//! [`FaultInjector::io_fault`] at `wal.append` (write) and `wal.fsync`;
+//! [`WalWriter::truncate_all`] consults `wal.truncate`. An injected
+//! fsync failure rolls the file back to its committed length — the
+//! record is *not* committed and a retry starts from a clean boundary.
+
+use crate::codec::{self, crc32, Dec, Enc};
+use crate::keys::{ForeignKey, PrimaryKey};
+use crate::matview::MatViewMeta;
+use aggview_common::{AggViewError, FaultInjector, IoFaultKind, Result, Schema, Tuple};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic identifying a WAL file (and its format version).
+pub const WAL_MAGIC: &[u8; 8] = b"AGVWAL01";
+
+/// Frame header size: `[u32 len][u32 crc]`.
+const FRAME_HEADER: u64 = 8;
+
+/// Upper bound on a single record's payload; a CRC-less corrupted
+/// length field cannot make the reader attempt an absurd allocation.
+const MAX_RECORD: u32 = 1 << 28;
+
+/// One logged catalog mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A table was registered (`replace: false` — `Catalog::add`) or
+    /// overwritten (`replace: true` — `Catalog::add_or_replace`). The
+    /// record carries the full table content: tables in this system are
+    /// immutable values, so registration is the only point where rows
+    /// enter wholesale.
+    PutTable {
+        name: String,
+        schema: Schema,
+        primary_key: Option<PrimaryKey>,
+        foreign_keys: Vec<ForeignKey>,
+        rows: Vec<Tuple>,
+        replace: bool,
+    },
+    /// Rows appended to an existing table (`Catalog::append_rows`).
+    InsertBatch { table: String, rows: Vec<Tuple> },
+    /// An out-of-band modification mark (`Catalog::mark_modified`).
+    MarkModified { table: String },
+    /// Materialized-view metadata registered or updated. Replay applies
+    /// it as an upsert, so one record shape covers both.
+    PutMatView { meta: MatViewMeta },
+}
+
+impl WalRecord {
+    /// Build a `PutTable` record from a live table.
+    pub fn put_table(table: &crate::table::Table, replace: bool) -> WalRecord {
+        WalRecord::PutTable {
+            name: table.name().to_string(),
+            schema: table.schema().clone(),
+            primary_key: table.primary_key().cloned(),
+            foreign_keys: table.foreign_keys().to_vec(),
+            rows: table.rows().to_vec(),
+            replace,
+        }
+    }
+
+    fn kind(&self) -> u8 {
+        match self {
+            WalRecord::PutTable { .. } => 0,
+            WalRecord::InsertBatch { .. } => 1,
+            WalRecord::MarkModified { .. } => 2,
+            WalRecord::PutMatView { .. } => 3,
+        }
+    }
+
+    fn encode_payload(&self, lsn: u64) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(lsn);
+        e.u8(self.kind());
+        match self {
+            WalRecord::PutTable {
+                name,
+                schema,
+                primary_key,
+                foreign_keys,
+                rows,
+                replace,
+            } => {
+                e.str(name);
+                codec::enc_schema(&mut e, schema);
+                codec::enc_primary_key(&mut e, primary_key);
+                codec::enc_foreign_keys(&mut e, foreign_keys);
+                codec::enc_rows(&mut e, rows);
+                e.u8(*replace as u8);
+            }
+            WalRecord::InsertBatch { table, rows } => {
+                e.str(table);
+                codec::enc_rows(&mut e, rows);
+            }
+            WalRecord::MarkModified { table } => e.str(table),
+            WalRecord::PutMatView { meta } => codec::enc_matview_meta(&mut e, meta),
+        }
+        e.into_bytes()
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<(u64, WalRecord)> {
+        let mut d = Dec::new(payload);
+        let lsn = d.u64()?;
+        let kind = d.u8()?;
+        let rec = match kind {
+            0 => {
+                let name = d.str()?;
+                let schema = codec::dec_schema(&mut d)?;
+                let primary_key = codec::dec_primary_key(&mut d)?;
+                let foreign_keys = codec::dec_foreign_keys(&mut d)?;
+                let rows = codec::dec_rows(&mut d)?;
+                let replace = d.u8()? != 0;
+                WalRecord::PutTable {
+                    name,
+                    schema,
+                    primary_key,
+                    foreign_keys,
+                    rows,
+                    replace,
+                }
+            }
+            1 => WalRecord::InsertBatch {
+                table: d.str()?,
+                rows: codec::dec_rows(&mut d)?,
+            },
+            2 => WalRecord::MarkModified { table: d.str()? },
+            3 => WalRecord::PutMatView {
+                meta: codec::dec_matview_meta(&mut d)?,
+            },
+            t => return Err(d.corrupt(format!("unknown WAL record kind {t}"))),
+        };
+        if !d.is_done() {
+            return Err(d.corrupt("WAL record payload has trailing bytes"));
+        }
+        Ok((lsn, rec))
+    }
+}
+
+fn io_err(what: &str, e: std::io::Error) -> AggViewError {
+    AggViewError::Io(format!("{what}: {e}"))
+}
+
+/// Everything [`WalReader::read_committed`] learns about a log file.
+#[derive(Debug)]
+pub struct WalContents {
+    /// Committed records in append order, with their LSNs.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Byte length of the committed prefix (magic + whole frames). The
+    /// file may be longer — a torn tail or trailing garbage follows.
+    pub committed_len: u64,
+    /// Absolute end offset of each committed record's frame; the last
+    /// entry equals `committed_len`. Lets tests slice the log at exact
+    /// record boundaries.
+    pub frame_ends: Vec<u64>,
+}
+
+impl WalContents {
+    /// LSN to assign to the next appended record.
+    pub fn next_lsn(&self) -> u64 {
+        self.records.last().map_or(0, |(lsn, _)| lsn + 1)
+    }
+}
+
+/// Read-side of the log.
+pub struct WalReader;
+
+impl WalReader {
+    /// Read the committed prefix of a WAL file.
+    ///
+    /// A missing file reads as an empty log. Torn tails and trailing
+    /// garbage are expected crash artifacts and terminate the scan
+    /// silently; a bad file magic or a CRC-valid-but-undecodable frame
+    /// is [`AggViewError::Corrupt`].
+    pub fn read_committed(path: &Path) -> Result<WalContents> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("read WAL", e)),
+        };
+        if bytes.is_empty() {
+            return Ok(WalContents {
+                records: Vec::new(),
+                committed_len: 0,
+                frame_ends: Vec::new(),
+            });
+        }
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(AggViewError::Corrupt {
+                offset: 0,
+                record: 0,
+                message: "WAL file magic mismatch".into(),
+            });
+        }
+        let mut records = Vec::new();
+        let mut frame_ends = Vec::new();
+        let mut pos = WAL_MAGIC.len();
+        // Anything that doesn't parse as a complete, checksummed frame
+        // ends the committed prefix: crashes legitimately leave partial
+        // frames and garbage past the last fsync.
+        while let Some(header) = bytes.get(pos..pos + FRAME_HEADER as usize) {
+            let len = u32::from_le_bytes(header[..4].try_into().expect("4"));
+            let crc = u32::from_le_bytes(header[4..].try_into().expect("4"));
+            if len > MAX_RECORD {
+                break;
+            }
+            let start = pos + FRAME_HEADER as usize;
+            let Some(payload) = bytes.get(start..start + len as usize) else {
+                break;
+            };
+            if crc32(payload) != crc {
+                break;
+            }
+            // The frame is intact past its checksum: decode failure now
+            // means the writer and reader disagree — real corruption.
+            let (lsn, rec) = WalRecord::decode_payload(payload).map_err(|e| match e {
+                AggViewError::Corrupt {
+                    offset, message, ..
+                } => AggViewError::Corrupt {
+                    offset: start as u64 + offset,
+                    record: records.len() as u64,
+                    message,
+                },
+                other => other,
+            })?;
+            records.push((lsn, rec));
+            pos = start + len as usize;
+            frame_ends.push(pos as u64);
+        }
+        Ok(WalContents {
+            records,
+            committed_len: frame_ends.last().copied().unwrap_or(WAL_MAGIC.len() as u64),
+            frame_ends,
+        })
+    }
+}
+
+/// Append-side of the log.
+///
+/// The writer tracks the committed length and truncates any leftover
+/// torn bytes before each append, so one failed append never poisons
+/// the next.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    committed_len: u64,
+    next_lsn: u64,
+}
+
+impl WalWriter {
+    /// Open (creating if needed) the log at `path`, resuming after the
+    /// committed prefix described by `contents` — normally the result
+    /// of [`WalReader::read_committed`] on the same path.
+    ///
+    /// `min_next_lsn` floors the next LSN: after a checkpoint truncates
+    /// the log, the file alone no longer remembers how far the sequence
+    /// got, so recovery passes `snapshot.last_lsn + 1` to keep LSNs
+    /// strictly increasing across the whole history.
+    pub fn open(path: &Path, contents: &WalContents, min_next_lsn: u64) -> Result<WalWriter> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err("open WAL", e))?;
+        let mut committed_len = contents.committed_len;
+        if committed_len == 0 {
+            file.set_len(0).map_err(|e| io_err("reset WAL", e))?;
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| io_err("seek WAL", e))?;
+            file.write_all(WAL_MAGIC)
+                .map_err(|e| io_err("write WAL magic", e))?;
+            file.sync_data().map_err(|e| io_err("fsync WAL magic", e))?;
+            committed_len = WAL_MAGIC.len() as u64;
+        }
+        let mut w = WalWriter {
+            file,
+            path: path.to_path_buf(),
+            committed_len,
+            next_lsn: contents.next_lsn().max(min_next_lsn),
+        };
+        // Drop any torn tail now rather than lazily: recovery hands out
+        // a clean log.
+        w.rollback_to_committed()?;
+        Ok(w)
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// LSN the next append will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Byte length of the committed prefix.
+    pub fn committed_len(&self) -> u64 {
+        self.committed_len
+    }
+
+    fn rollback_to_committed(&mut self) -> Result<()> {
+        let actual = self
+            .file
+            .metadata()
+            .map_err(|e| io_err("stat WAL", e))?
+            .len();
+        if actual != self.committed_len {
+            self.file
+                .set_len(self.committed_len)
+                .map_err(|e| io_err("truncate WAL tail", e))?;
+        }
+        Ok(())
+    }
+
+    /// Append one record durably; returns its LSN.
+    ///
+    /// The record is committed — guaranteed to survive
+    /// [`WalReader::read_committed`] — iff this returns `Ok`.
+    pub fn append(&mut self, rec: &WalRecord, faults: &dyn FaultInjector) -> Result<u64> {
+        self.rollback_to_committed()?;
+        let lsn = self.next_lsn;
+        let payload = rec.encode_payload(lsn);
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_HEADER as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        self.file
+            .seek(SeekFrom::Start(self.committed_len))
+            .map_err(|e| io_err("seek WAL", e))?;
+        let mut garbage_after = false;
+        match faults.io_fault("wal.append") {
+            Some(IoFaultKind::Error) => {
+                return Err(AggViewError::Io("injected WAL write failure".into()));
+            }
+            Some(IoFaultKind::ShortWrite) => {
+                // Half the frame reaches the disk — exactly what a crash
+                // mid-write leaves. The op fails; the torn bytes stay for
+                // recovery to skip.
+                let torn = &frame[..frame.len() / 2];
+                self.file
+                    .write_all(torn)
+                    .map_err(|e| io_err("write WAL", e))?;
+                let _ = self.file.sync_data();
+                return Err(AggViewError::Io("injected torn WAL write".into()));
+            }
+            Some(IoFaultKind::TrailingGarbage) => garbage_after = true,
+            None => {}
+        }
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("write WAL", e))?;
+        if garbage_after {
+            // Recycled-disk bytes past the record: a plausible frame
+            // header prefix followed by junk, never a valid frame.
+            self.file
+                .write_all(&[0x7F, 0x00, 0x00, 0x00, 0xDE, 0xAD])
+                .map_err(|e| io_err("write WAL", e))?;
+        }
+        if faults.io_fault("wal.fsync").is_some() {
+            // Any injected fault at the fsync site means the record never
+            // became durable: roll the simulated disk back to the
+            // committed boundary and report the failure.
+            self.file
+                .set_len(self.committed_len)
+                .map_err(|e| io_err("truncate WAL", e))?;
+            return Err(AggViewError::Io("injected WAL fsync failure".into()));
+        }
+        self.file.sync_data().map_err(|e| io_err("fsync WAL", e))?;
+        self.committed_len += frame.len() as u64;
+        self.next_lsn = lsn + 1;
+        Ok(lsn)
+    }
+
+    /// Discard every record (after a checkpoint made them redundant).
+    /// LSNs keep counting from where they were — they are never reused,
+    /// which is what lets recovery order records against snapshots.
+    pub fn truncate_all(&mut self, faults: &dyn FaultInjector) -> Result<()> {
+        if faults.io_fault("wal.truncate").is_some() {
+            // The log keeps its records; recovery will skip the ones the
+            // checkpoint already covers (their LSNs are ≤ its last_lsn).
+            return Err(AggViewError::Io("injected WAL truncate failure".into()));
+        }
+        self.file
+            .set_len(WAL_MAGIC.len() as u64)
+            .map_err(|e| io_err("truncate WAL", e))?;
+        self.file.sync_data().map_err(|e| io_err("fsync WAL", e))?;
+        self.committed_len = WAL_MAGIC.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_common::{DataType, NoFaults, ScheduledIoFaults, Value};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aggview-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::PutTable {
+                name: "Emp".into(),
+                schema: Schema::of(&[("eno", DataType::Int), ("sal", DataType::Float)]),
+                primary_key: Some(PrimaryKey::single(0)),
+                foreign_keys: vec![ForeignKey::new(vec![0], "dept", vec![0])],
+                rows: vec![Tuple::new(vec![Value::Int(1), Value::Float(10.0)])],
+                replace: false,
+            },
+            WalRecord::InsertBatch {
+                table: "emp".into(),
+                rows: vec![Tuple::new(vec![Value::Int(2), Value::Float(20.0)])],
+            },
+            WalRecord::MarkModified {
+                table: "emp".into(),
+            },
+        ]
+    }
+
+    fn write_log(path: &Path, recs: &[WalRecord]) -> WalWriter {
+        let contents = WalReader::read_committed(path).unwrap();
+        let mut w = WalWriter::open(path, &contents, 0).unwrap();
+        for r in recs {
+            w.append(r, &NoFaults).unwrap();
+        }
+        w
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.agv");
+        let recs = sample_records();
+        let w = write_log(&path, &recs);
+        assert_eq!(w.next_lsn(), 3);
+        let back = WalReader::read_committed(&path).unwrap();
+        assert_eq!(back.records.len(), 3);
+        for (i, (lsn, rec)) in back.records.iter().enumerate() {
+            assert_eq!(*lsn, i as u64);
+            assert_eq!(rec, &recs[i]);
+        }
+        assert_eq!(back.committed_len, *back.frame_ends.last().unwrap());
+        assert_eq!(back.next_lsn(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_silently_dropped_at_every_cut() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal.agv");
+        write_log(&path, &sample_records());
+        let full = std::fs::read(&path).unwrap();
+        let contents = WalReader::read_committed(&path).unwrap();
+        let second_end = contents.frame_ends[1] as usize;
+        // Cut anywhere inside the third frame: exactly two records
+        // survive, no error.
+        for cut in second_end..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let back = WalReader::read_committed(&path).unwrap();
+            assert_eq!(back.records.len(), 2, "cut at {cut}");
+            assert_eq!(back.committed_len, second_end as u64, "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trailing_garbage_is_tolerated() {
+        let dir = tmpdir("garbage");
+        let path = dir.join("wal.agv");
+        write_log(&path, &sample_records());
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0x13, 0x37, 0xFF, 0x00, 0x42]);
+        std::fs::write(&path, &bytes).unwrap();
+        let back = WalReader::read_committed(&path).unwrap();
+        assert_eq!(back.records.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_payload_byte_ends_the_committed_prefix() {
+        let dir = tmpdir("bitflip");
+        let path = dir.join("wal.agv");
+        write_log(&path, &sample_records());
+        let contents = WalReader::read_committed(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the second record's payload: its CRC no
+        // longer matches, so the log ends after record one.
+        let target = (contents.frame_ends[0] + FRAME_HEADER + 2) as usize;
+        bytes[target] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let back = WalReader::read_committed(&path).unwrap();
+        assert_eq!(back.records.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_corruption() {
+        let dir = tmpdir("magic");
+        let path = dir.join("wal.agv");
+        std::fs::write(&path, b"NOTAWAL!rest").unwrap();
+        let err = WalReader::read_committed(&path).unwrap_err();
+        assert_eq!(err.kind(), "corrupt");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty() {
+        let dir = tmpdir("missing");
+        let back = WalReader::read_committed(&dir.join("nope.agv")).unwrap();
+        assert!(back.records.is_empty());
+        assert_eq!(back.next_lsn(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_faults_commit_exactly_when_append_succeeds() {
+        let recs = sample_records();
+        for kind in IoFaultKind::ALL {
+            for site in ["wal.append", "wal.fsync"] {
+                let dir = tmpdir(&format!("inj-{site}-{kind:?}"));
+                let path = dir.join("wal.agv");
+                let contents = WalReader::read_committed(&path).unwrap();
+                let mut w = WalWriter::open(&path, &contents, 0).unwrap();
+                let inj = ScheduledIoFaults::at(site, 0, *kind);
+                let mut committed = Vec::new();
+                for r in &recs {
+                    if w.append(r, &inj).is_ok() {
+                        committed.push(r.clone());
+                    }
+                }
+                assert!(inj.fired(), "{site} {kind:?} never fired");
+                let back = WalReader::read_committed(&path).unwrap();
+                let got: Vec<WalRecord> = back.records.into_iter().map(|(_, r)| r).collect();
+                assert_eq!(got, committed, "{site} {kind:?}");
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn reopen_resumes_lsns_and_drops_torn_bytes() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("wal.agv");
+        write_log(&path, &sample_records());
+        // Simulate a crash mid-append: torn half-frame at the tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[9, 0, 0, 0, 1]);
+        std::fs::write(&path, &bytes).unwrap();
+        let contents = WalReader::read_committed(&path).unwrap();
+        let mut w = WalWriter::open(&path, &contents, 0).unwrap();
+        assert_eq!(w.next_lsn(), 3);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            contents.committed_len,
+            "torn tail trimmed on open"
+        );
+        let lsn = w
+            .append(&WalRecord::MarkModified { table: "x".into() }, &NoFaults)
+            .unwrap();
+        assert_eq!(lsn, 3);
+        let back = WalReader::read_committed(&path).unwrap();
+        assert_eq!(back.records.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_all_empties_log_but_preserves_lsn_sequence() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("wal.agv");
+        let mut w = write_log(&path, &sample_records());
+        let inj = ScheduledIoFaults::at("wal.truncate", 0, IoFaultKind::Error);
+        let err = w.truncate_all(&inj).unwrap_err();
+        assert_eq!(err.kind(), "io");
+        assert_eq!(WalReader::read_committed(&path).unwrap().records.len(), 3);
+        w.truncate_all(&NoFaults).unwrap();
+        let back = WalReader::read_committed(&path).unwrap();
+        assert!(back.records.is_empty());
+        let lsn = w
+            .append(&WalRecord::MarkModified { table: "x".into() }, &NoFaults)
+            .unwrap();
+        assert_eq!(lsn, 3, "LSNs are never reused after truncation");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

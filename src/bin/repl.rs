@@ -18,6 +18,7 @@
 //! `max_bytes`, `max_plans`, `max_memo`, `retries`; `off` clears a limit;
 //! plus `threads` for the parallel executor), `.limits`,
 //! `.bench [threads]` (executor scaling benchmark), `.explain <sql>`,
+//! `.open <dir>` (durable catalog: WAL + checkpoints), `.checkpoint`,
 //! `.quit`. Everything else is SQL (`;`-terminated, may span lines).
 
 use aggview::bench::exec_bench::{run_exec_bench, ExecBenchConfig};
@@ -113,6 +114,10 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
                  .limits                      show current resource limits\n\
                  .bench [threads]             executor scaling benchmark (writes BENCH_exec.json)\n\
                  .views                       list materialized views (rows, bytes, staleness)\n\
+                 .open <dir>                  switch to a durable catalog at <dir> (WAL +\n\
+                 \u{20}                            checkpoints; seeds from the current catalog\n\
+                 \u{20}                            when <dir> is empty)\n\
+                 .checkpoint                  write a snapshot and truncate the WAL\n\
                  .stats <table>               table/extent statistics (rows, widths, distincts)\n\
                  .explain <sql>               show the chosen plan without running\n\
                  .lint <sql>                  run the plan-integrity analyzer without running\n\
@@ -243,6 +248,47 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
                     }
                 }
                 _ => println!("usage: .gen empdept [depts emps] | .gen star [customers]"),
+            }
+        }
+        ".open" => match parts.get(1).map(|s| s.trim()) {
+            Some(dir) if !dir.is_empty() => match aggview::storage::Catalog::open(dir) {
+                Ok(cat) => {
+                    let quarantined = cat.reverify_matviews();
+                    if cat.is_empty() && cat.matview_names().is_empty() {
+                        match cat.import_from(session.catalog()) {
+                            Ok(()) => println!(
+                                "seeded {dir} from the current catalog ({} tables)",
+                                cat.len()
+                            ),
+                            Err(e) => {
+                                println!("cannot seed {dir}: {e}");
+                                return true;
+                            }
+                        }
+                    } else {
+                        println!(
+                            "recovered {dir}: {} tables, {} materialized views",
+                            cat.len(),
+                            cat.matview_names().len()
+                        );
+                        for name in quarantined {
+                            println!("note: view `{name}` quarantined (base tables could not be re-verified)");
+                        }
+                    }
+                    *session = with_settings(session, cat);
+                }
+                Err(e) => println!("{e}"),
+            },
+            _ => println!("usage: .open <dir>"),
+        },
+        ".checkpoint" => {
+            if !session.is_durable() {
+                println!("catalog is in-memory — use .open <dir> first");
+            } else {
+                match session.checkpoint() {
+                    Ok(()) => println!("checkpoint written; WAL truncated"),
+                    Err(e) => println!("{e}"),
+                }
             }
         }
         ".set" => {
