@@ -8,13 +8,19 @@
 //! Runs the E1/E3/E8 workloads plus the operator micro-suite at
 //! `threads = {1, N}`, prints a summary table, and writes the machine
 //! -readable report to `--out` (default `BENCH_exec.json`).
+//!
+//! `--check-peak-baseline PATH` compares each workload's fresh
+//! `peak_intermediate_bytes` against the committed report at PATH and
+//! exits nonzero if any workload regressed more than 10% — the CI
+//! bench-smoke job uses this as a memory-regression gate.
 
-use aggview_bench::exec_bench::{run_exec_bench, ExecBenchConfig};
+use aggview_bench::exec_bench::{check_peak_regression, run_exec_bench, ExecBenchConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut cfg = ExecBenchConfig::default();
     let mut out = String::from("BENCH_exec.json");
+    let mut baseline: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -35,6 +41,7 @@ fn main() -> ExitCode {
                 _ => return usage(&format!("--repeats wants an integer >= 1, got `{v}`")),
             },
             ("--out", Some(v)) => out = v.clone(),
+            ("--check-peak-baseline", Some(v)) => baseline = Some(v.clone()),
             ("--help" | "-h", _) => return usage(""),
             _ => return usage(&format!("unknown argument `{flag}`")),
         }
@@ -54,6 +61,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out}");
+    if let Some(path) = baseline {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_peak_regression(&text, &report.workloads, 1.10) {
+            Ok(()) => println!("peak-bytes baseline check: ok (vs {path})"),
+            Err(e) => {
+                eprintln!("peak_intermediate_bytes regression vs {path}:\n{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -63,7 +86,10 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: bench [--threads N>=2] [--scale N>=1] [--repeats N>=1] [--out PATH]\n\
-         runs the executor workloads at threads = {{1, N}} and writes a JSON report"
+         \x20            [--check-peak-baseline PATH]\n\
+         runs the executor workloads at threads = {{1, N}} and writes a JSON report;\n\
+         with --check-peak-baseline, fails if any workload's peak_intermediate_bytes\n\
+         regressed more than 10% against the committed report at PATH"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

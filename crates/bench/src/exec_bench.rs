@@ -5,11 +5,15 @@
 //! coalescing group-by) and three operator micro-workloads (scan+filter,
 //! hash join, hash aggregation), each at `threads = 1` and
 //! `threads = N`, reporting wall-clock, rows/sec, parallel speedup and
-//! peak intermediate bytes. A separate *serial kernel* section times the
-//! current hash-then-compare join/group-by kernels against a
-//! re-implementation of the old clone-a-`Vec<Value>`-key-per-row
-//! baseline on identical materialized inputs, quantifying the serial
-//! win from key-clone elimination. A *matview* section measures the
+//! peak intermediate bytes. A separate *serial kernel* section has
+//! three parts: `clone_key` times the current hash-then-compare
+//! join/group-by kernels against a re-implementation of the old
+//! clone-a-`Vec<Value>`-key-per-row baseline; `batch_vs_row` times the
+//! vectorized column-at-a-time kernels (filter, hash join, group-by)
+//! against the row-at-a-time reference path on identical inputs; and
+//! `row_micro` times individual row-path micro-kernels against the
+//! per-row-allocation variants they replaced. A *matview* section
+//! measures the
 //! same aggregate query cold (inlined), answered from a materialized
 //! view extent, and after staleness + `REFRESH`, and checks that
 //! incremental `INSERT` maintenance reproduces the rebuilt extent.
@@ -19,9 +23,10 @@
 //! any multi-core machine) is where the scaling numbers are meaningful.
 
 use crate::model_with_mem;
+use aggview_common::predicate::{self, BoundPredicate};
 use aggview_common::{
-    AggFunc, AggSpec, AggViewError, CmpOp, Col, Expr, PartialAggState, Predicate, RelId, Result,
-    Tuple, Value, ViewId,
+    AggFunc, AggSpec, AggViewError, Batch, CmpOp, Col, DataType, Expr, PartialAggState, Predicate,
+    RelId, Result, Tuple, Value, ViewId,
 };
 use aggview_core::analyze::PlanAnalyzer;
 use aggview_core::governor::ResourceGovernor;
@@ -30,9 +35,11 @@ use aggview_core::plan::{all_cols, GroupBySpec, Plan};
 use aggview_core::query::examples::{dept, emp, example1_query};
 use aggview_core::query::{CanonicalQuery, QueryEnv, TopGroup, ViewDef};
 use aggview_core::OptimizerConfig;
-use aggview_executor::parallel::{accumulate_groups, build_index, probe_join, JoinEmit};
+use aggview_executor::parallel::{
+    accumulate_groups, build_index, filter_project, probe_join, JoinEmit,
+};
 use aggview_executor::partition::AggInput;
-use aggview_executor::{Engine, ExecOptions};
+use aggview_executor::{vector, Engine, ExecOptions};
 use aggview_storage::datagen::{gen_empdept, gen_star, EmpDeptConfig, StarConfig};
 use aggview_storage::Catalog;
 use std::collections::HashMap;
@@ -125,7 +132,10 @@ pub struct DurabilityReport {
     pub recover_after_checkpoint_ms: f64,
 }
 
-/// Current serial kernel vs. the clone-key baseline it replaced.
+/// Current serial kernel vs. the per-row-allocation baseline it
+/// replaced (clone-a-key-per-row for the join/group kernels, an
+/// owned-`Value` or concatenated-tuple evaluation for the micro
+/// kernels).
 #[derive(Debug, Clone)]
 pub struct KernelReport {
     pub name: &'static str,
@@ -137,6 +147,30 @@ pub struct KernelReport {
     pub improvement: f64,
 }
 
+/// Serial vectorized kernel vs. the row-at-a-time reference on
+/// identical inputs.
+#[derive(Debug, Clone)]
+pub struct BatchKernelReport {
+    pub name: &'static str,
+    pub input_rows: u64,
+    pub row_ms: f64,
+    pub batch_ms: f64,
+    /// `row_ms / batch_ms` — > 1 means the batch kernel is faster.
+    pub speedup: f64,
+}
+
+/// The serial-kernel section of the report.
+#[derive(Debug, Clone)]
+pub struct SerialKernels {
+    /// Current row kernels vs. the clone-a-`Vec<Value>`-key baseline.
+    pub clone_key: Vec<KernelReport>,
+    /// Vectorized batch kernels vs. the row-at-a-time reference path.
+    pub batch_vs_row: Vec<BatchKernelReport>,
+    /// Row-path micro-kernels vs. the per-row-allocation variants they
+    /// replaced.
+    pub row_micro: Vec<KernelReport>,
+}
+
 /// Full benchmark output, serializable to `BENCH_exec.json`.
 #[derive(Debug, Clone)]
 pub struct ExecBenchReport {
@@ -145,7 +179,7 @@ pub struct ExecBenchReport {
     pub scale: usize,
     pub repeats: usize,
     pub workloads: Vec<WorkloadReport>,
-    pub serial_kernels: Vec<KernelReport>,
+    pub serial_kernels: SerialKernels,
     pub matview: MatviewReport,
     pub durability: DurabilityReport,
     /// Plans run through the static integrity analyzer before execution.
@@ -384,10 +418,35 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
         .get("dept")
         .map(|t| t.rows().to_vec())
         .unwrap_or_default();
-    let serial_kernels = vec![
-        join_kernel_report(&emp_rows, &dept_rows, repeats)?,
-        group_kernel_report(&emp_rows, repeats)?,
-    ];
+    let emp_types: Vec<DataType> = empdept
+        .get("emp")?
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.ty)
+        .collect();
+    let dept_types: Vec<DataType> = empdept
+        .get("dept")?
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.ty)
+        .collect();
+    let serial_kernels = SerialKernels {
+        clone_key: vec![
+            join_kernel_report(&emp_rows, &dept_rows, repeats)?,
+            group_kernel_report(&emp_rows, repeats)?,
+        ],
+        batch_vs_row: vec![
+            batch_filter_report(&emp_rows, &emp_types, repeats)?,
+            batch_join_report(&emp_rows, &emp_types, &dept_rows, &dept_types, repeats)?,
+            batch_group_report(&emp_rows, &emp_types, repeats)?,
+        ],
+        row_micro: vec![
+            predicate_eval_report(&emp_rows, repeats)?,
+            probe_residual_report(&emp_rows, repeats)?,
+        ],
+    };
 
     let matview = matview_report(scale, repeats)?;
     let durability = durability_report(scale, repeats)?;
@@ -412,7 +471,7 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
 /// Correctness (recovered state == committed state) is the integration
 /// suite's job; this only quantifies the cost.
 fn durability_report(scale: usize, repeats: usize) -> Result<DurabilityReport> {
-    use aggview_common::{DataType, Schema};
+    use aggview_common::Schema;
     use aggview_storage::{Table, WalReader};
 
     let base = std::env::temp_dir().join(format!("aggview-bench-dur-{}", std::process::id()));
@@ -797,6 +856,294 @@ fn group_kernel_report(emp_rows: &[Tuple], repeats: usize) -> Result<KernelRepor
 }
 
 // ---------------------------------------------------------------------
+// Batch vs. row: the vectorized serial kernels against the
+// row-at-a-time reference path on identical inputs.
+// ---------------------------------------------------------------------
+
+/// Layout binder for a tuple laid out as emp's five base columns.
+fn emp_layout(c: Col) -> Option<usize> {
+    (0..5).find(|&i| c == Col::base(RelId(0), i))
+}
+
+fn identity(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+/// Batch scan+filter+project vs. the row reference on the same rows.
+/// Mirrors the engine's compact-scan layout — only the columns the
+/// predicates and projection touch are transposed — so the batch side
+/// pays the tuple-to-column transposition cost it pays at a real scan
+/// boundary.
+fn batch_filter_report(
+    emp_rows: &[Tuple],
+    emp_types: &[DataType],
+    repeats: usize,
+) -> Result<BatchKernelReport> {
+    let gov = ResourceGovernor::unlimited();
+    let opts = ExecOptions::with_threads(1);
+    // SELECT dno, sal FROM emp WHERE sal >= 800 AND age < 40.
+    let preds = [
+        Predicate::cmp_const(
+            Col::base(RelId(0), emp::SAL),
+            CmpOp::Ge,
+            Value::Float(800.0),
+        ),
+        Predicate::cmp_const(Col::base(RelId(0), emp::AGE), CmpOp::Lt, Value::Int(40)),
+    ];
+    let row_positions = [emp::DNO, emp::SAL];
+    let row_preds: Vec<BoundPredicate> = preds
+        .iter()
+        .map(|p| p.bind(&emp_layout))
+        .collect::<Result<_>>()?;
+    let (row_ms, row_out) = time_best(repeats, || {
+        filter_project(&opts, &gov, emp_rows, &row_preds, &row_positions)
+    })?;
+
+    // Compact physical layout {dno, sal, age}: eno and name are unused.
+    let phys = [emp::DNO, emp::SAL, emp::AGE];
+    let types: Vec<DataType> = phys.iter().map(|&p| emp_types[p]).collect();
+    let compact =
+        |c: Col| -> Option<usize> { emp_layout(c).and_then(|p| phys.iter().position(|&q| q == p)) };
+    let batch_preds: Vec<BoundPredicate> = preds
+        .iter()
+        .map(|p| p.bind(&compact))
+        .collect::<Result<_>>()?;
+    let positions = [0usize, 1];
+    let (batch_ms, batch_out) = time_best(repeats, || {
+        vector::scan_filter_project(
+            &opts,
+            &gov,
+            emp_rows,
+            &phys,
+            &types,
+            &batch_preds,
+            &positions,
+        )
+    })?;
+    assert_eq!(
+        row_out.0.len(),
+        batch_out.0.len(),
+        "filter kernels must agree"
+    );
+    Ok(BatchKernelReport {
+        name: "filter",
+        input_rows: emp_rows.len() as u64,
+        row_ms,
+        batch_ms,
+        speedup: row_ms / batch_ms.max(1e-9),
+    })
+}
+
+/// Batch hash join (fx-prehashed key columns) vs. the row build/probe
+/// kernels. Inputs are transposed outside the timed region: in the
+/// engine a join consumes batches produced upstream, so transposition
+/// belongs to the scan (the `filter` entry), not the join.
+fn batch_join_report(
+    emp_rows: &[Tuple],
+    emp_types: &[DataType],
+    dept_rows: &[Tuple],
+    dept_types: &[DataType],
+    repeats: usize,
+) -> Result<BatchKernelReport> {
+    let gov = ResourceGovernor::unlimited();
+    let opts = ExecOptions::with_threads(1);
+    let build_pos = [dept::DNO];
+    let probe_pos = [emp::DNO];
+    // Combined layout dept ++ emp: all dept columns plus emp name+sal.
+    let positions = [0usize, 1, 2, 3, 4 + 1, 4 + emp::SAL];
+    let emit = JoinEmit::new(&positions, 4, true);
+    let (row_ms, row_out) = time_best(repeats, || {
+        let index = build_index(&opts, &gov, dept_rows, &build_pos)?;
+        probe_join(
+            &opts,
+            &gov,
+            dept_rows,
+            emp_rows,
+            &index,
+            &build_pos,
+            &probe_pos,
+            &[],
+            true,
+            &emit,
+        )
+    })?;
+    let build = Batch::from_tuples(dept_rows, &identity(dept_types.len()), dept_types);
+    let probe = Batch::from_tuples(emp_rows, &identity(emp_types.len()), emp_types);
+    let (batch_ms, batch_out) = time_best(repeats, || {
+        let index = vector::build_index(&opts, &gov, &build, &build_pos)?;
+        vector::probe_join(
+            &opts,
+            &gov,
+            &build,
+            &probe,
+            &index,
+            &build_pos,
+            &probe_pos,
+            &[],
+            true,
+            4,
+            &positions,
+        )
+    })?;
+    assert_eq!(
+        row_out.0.len(),
+        batch_out.0.len(),
+        "join kernels must agree"
+    );
+    Ok(BatchKernelReport {
+        name: "hash_join",
+        input_rows: (emp_rows.len() + dept_rows.len()) as u64,
+        row_ms,
+        batch_ms,
+        speedup: row_ms / batch_ms.max(1e-9),
+    })
+}
+
+/// Batch hash aggregation (tile-prehashed keys, flat state storage) vs.
+/// the row accumulate kernel. As with the join, the input batch is
+/// transposed outside the timed region.
+fn batch_group_report(
+    emp_rows: &[Tuple],
+    emp_types: &[DataType],
+    repeats: usize,
+) -> Result<BatchKernelReport> {
+    let gov = ResourceGovernor::unlimited();
+    let opts = ExecOptions::with_threads(1);
+    let key_pos = [emp::DNO];
+    let funcs = [AggFunc::Count, AggFunc::Avg];
+    let sal = Expr::col(Col::base(RelId(0), emp::SAL))
+        .bind(&|c: Col| (c == Col::base(RelId(0), emp::SAL)).then_some(emp::SAL))?;
+    let inputs = [AggInput::RawCountStar, AggInput::Raw(sal)];
+    let (row_ms, table) = time_best(repeats, || {
+        accumulate_groups(&opts, &gov, emp_rows, &key_pos, &inputs, &funcs)
+    })?;
+    let batch_in = Batch::from_tuples(emp_rows, &identity(emp_types.len()), emp_types);
+    let (batch_ms, btable) = time_best(repeats, || {
+        vector::accumulate_groups(&opts, &gov, &batch_in, &key_pos, &inputs, &funcs)
+    })?;
+    assert_eq!(table.groups.len(), btable.len(), "group kernels must agree");
+    Ok(BatchKernelReport {
+        name: "group_by",
+        input_rows: emp_rows.len() as u64,
+        row_ms,
+        batch_ms,
+        speedup: row_ms / batch_ms.max(1e-9),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Row-path micro-kernels vs. the per-row-allocation variants they
+// replaced.
+// ---------------------------------------------------------------------
+
+/// `BoundPredicate::eval`'s reference-walking fast path vs. the owned
+/// evaluation it replaced: `eval_with` over a cloning getter has
+/// exactly the old shape — every operand cloned out of the tuple per
+/// row (a heap allocation per string comparand).
+fn predicate_eval_report(emp_rows: &[Tuple], repeats: usize) -> Result<KernelReport> {
+    let bound: Vec<BoundPredicate> = [
+        Predicate::cmp_const(Col::base(RelId(0), emp::NAME), CmpOp::Ge, Value::str("e")),
+        Predicate::cmp_const(
+            Col::base(RelId(0), emp::SAL),
+            CmpOp::Ge,
+            Value::Float(800.0),
+        ),
+    ]
+    .iter()
+    .map(|p| p.bind(&emp_layout))
+    .collect::<Result<_>>()?;
+    let (legacy_ms, legacy_hits) = time_best(repeats, || {
+        let mut hits = 0u64;
+        for t in emp_rows {
+            let mut ok = true;
+            for p in &bound {
+                if !p.eval_with(&|i| t.get(i).clone())? {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                hits += 1;
+            }
+        }
+        Ok(hits)
+    })?;
+    let (current_ms, hits) = time_best(repeats, || {
+        let mut hits = 0u64;
+        for t in emp_rows {
+            if predicate::eval_conjunction(&bound, t)? {
+                hits += 1;
+            }
+        }
+        Ok(hits)
+    })?;
+    assert_eq!(hits, legacy_hits, "predicate kernels must agree");
+    Ok(KernelReport {
+        name: "predicate_eval",
+        input_rows: emp_rows.len() as u64,
+        legacy_clone_key_ms: legacy_ms,
+        current_ms,
+        improvement: legacy_ms / current_ms.max(1e-9),
+    })
+}
+
+/// Residual evaluation at a join probe: the split evaluator reads build
+/// and probe tuples in place vs. the legacy shape that concatenated the
+/// candidate pair into a fresh tuple before evaluating.
+fn probe_residual_report(emp_rows: &[Tuple], repeats: usize) -> Result<KernelReport> {
+    // Combined layout emp ++ emp (a self-join's residual).
+    let combined = |c: Col| -> Option<usize> {
+        (0..5)
+            .find(|&i| c == Col::base(RelId(0), i))
+            .or_else(|| (0..5).find(|&i| c == Col::base(RelId(1), i)).map(|i| 5 + i))
+    };
+    let bound: Vec<BoundPredicate> = [
+        Predicate::new(
+            Expr::col(Col::base(RelId(0), emp::SAL)),
+            CmpOp::Gt,
+            Expr::col(Col::base(RelId(1), emp::SAL)),
+        ),
+        Predicate::new(
+            Expr::col(Col::base(RelId(0), emp::AGE)),
+            CmpOp::Le,
+            Expr::col(Col::base(RelId(1), emp::AGE)),
+        ),
+    ]
+    .iter()
+    .map(|p| p.bind(&combined))
+    .collect::<Result<_>>()?;
+    let n = emp_rows.len().max(1);
+    let (legacy_ms, legacy_hits) = time_best(repeats, || {
+        let mut hits = 0u64;
+        for (i, l) in emp_rows.iter().enumerate() {
+            let r = &emp_rows[(i + 1) % n];
+            if predicate::eval_conjunction(&bound, &l.concat(r))? {
+                hits += 1;
+            }
+        }
+        Ok(hits)
+    })?;
+    let (current_ms, hits) = time_best(repeats, || {
+        let mut hits = 0u64;
+        for (i, l) in emp_rows.iter().enumerate() {
+            let r = &emp_rows[(i + 1) % n];
+            if predicate::eval_conjunction_split(&bound, l, r, 5)? {
+                hits += 1;
+            }
+        }
+        Ok(hits)
+    })?;
+    assert_eq!(hits, legacy_hits, "residual kernels must agree");
+    Ok(KernelReport {
+        name: "probe_residual",
+        input_rows: emp_rows.len() as u64,
+        legacy_clone_key_ms: legacy_ms,
+        current_ms,
+        improvement: legacy_ms / current_ms.max(1e-9),
+    })
+}
+
+// ---------------------------------------------------------------------
 // Workload queries (shared with the criterion benches).
 // ---------------------------------------------------------------------
 
@@ -884,6 +1231,14 @@ impl ExecBenchReport {
         s.push_str(&format!("  \"plans_passed\": {},\n", self.plans_passed));
         s.push_str("  \"workloads\": [\n");
         for (i, w) in self.workloads.iter().enumerate() {
+            // On a single-core host the serial/parallel ratio measures
+            // scheduling noise, not scaling: suppress it rather than
+            // commit a misleading ~1.0 to the report.
+            let speedup = if self.host_cpus > 1 {
+                num(w.speedup)
+            } else {
+                "null".to_string()
+            };
             s.push_str(&format!(
                 "    {{\"name\": \"{}\", \"input_rows\": {}, \"output_rows\": {}, \
                  \"serial_ms\": {}, \"parallel_ms\": {}, \
@@ -896,7 +1251,7 @@ impl ExecBenchReport {
                 num(w.parallel_ms),
                 num(w.serial_rows_per_sec),
                 num(w.parallel_rows_per_sec),
-                num(w.speedup),
+                speedup,
                 w.peak_intermediate_bytes,
                 comma(i, self.workloads.len()),
             ));
@@ -933,20 +1288,25 @@ impl ExecBenchReport {
             num(d.checkpoint_ms),
             num(d.recover_after_checkpoint_ms),
         ));
-        s.push_str("  \"serial_kernels\": [\n");
-        for (i, k) in self.serial_kernels.iter().enumerate() {
+        s.push_str("  \"serial_kernels\": {\n");
+        push_kernel_list(&mut s, "clone_key", &self.serial_kernels.clone_key, true);
+        s.push_str("    \"batch_vs_row\": [\n");
+        let bvr = &self.serial_kernels.batch_vs_row;
+        for (i, k) in bvr.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"input_rows\": {}, \
-                 \"legacy_clone_key_ms\": {}, \"current_ms\": {}, \"improvement\": {}}}{}\n",
+                "      {{\"name\": \"{}\", \"input_rows\": {}, \
+                 \"row_ms\": {}, \"batch_ms\": {}, \"speedup\": {}}}{}\n",
                 k.name,
                 k.input_rows,
-                num(k.legacy_clone_key_ms),
-                num(k.current_ms),
-                num(k.improvement),
-                comma(i, self.serial_kernels.len()),
+                num(k.row_ms),
+                num(k.batch_ms),
+                num(k.speedup),
+                comma(i, bvr.len()),
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("    ],\n");
+        push_kernel_list(&mut s, "row_micro", &self.serial_kernels.row_micro, false);
+        s.push_str("  }\n}\n");
         s
     }
 
@@ -968,19 +1328,46 @@ impl ExecBenchReport {
             "workload", "rows", "serial ms", "par ms", "speedup", "out", "peak bytes"
         ));
         for w in &self.workloads {
+            let speedup = if self.host_cpus > 1 {
+                format!("{:>9.2}x", w.speedup)
+            } else {
+                format!("{:>10}", "n/a")
+            };
             s.push_str(&format!(
-                "{:<14} {:>10} {:>10.2} {:>10.2} {:>9.2}x {:>8} {:>12}\n",
+                "{:<14} {:>10} {:>10.2} {:>10.2} {} {:>8} {:>12}\n",
                 w.name,
                 w.input_rows,
                 w.serial_ms,
                 w.parallel_ms,
-                w.speedup,
+                speedup,
                 w.output_rows,
                 w.peak_intermediate_bytes
             ));
         }
+        if self.host_cpus == 1 {
+            s.push_str(
+                "note: single-cpu host — parallel speedup suppressed (null in the \
+                 JSON report); run on a multi-core host for scaling numbers\n",
+            );
+        }
         s.push_str("serial kernels vs clone-key baseline:\n");
-        for k in &self.serial_kernels {
+        for k in &self.serial_kernels.clone_key {
+            s.push_str(&format!(
+                "{:<14} {:>10} legacy {:>8.2} ms  current {:>8.2} ms  {:>5.2}x faster\n",
+                k.name, k.input_rows, k.legacy_clone_key_ms, k.current_ms, k.improvement
+            ));
+        }
+        s.push_str(&format!(
+            "batch vs row (serial): {}\n",
+            self.serial_kernels
+                .batch_vs_row
+                .iter()
+                .map(|k| format!("{} {:.2}x", k.name, k.speedup))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str("row micro-kernels vs per-row-allocation baseline:\n");
+        for k in &self.serial_kernels.row_micro {
             s.push_str(&format!(
                 "{:<14} {:>10} legacy {:>8.2} ms  current {:>8.2} ms  {:>5.2}x faster\n",
                 k.name, k.input_rows, k.legacy_clone_key_ms, k.current_ms, k.improvement
@@ -1019,6 +1406,80 @@ impl ExecBenchReport {
     }
 }
 
+fn push_kernel_list(s: &mut String, key: &str, ks: &[KernelReport], trailing_comma: bool) {
+    s.push_str(&format!("    \"{key}\": [\n"));
+    for (i, k) in ks.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"name\": \"{}\", \"input_rows\": {}, \
+             \"legacy_clone_key_ms\": {}, \"current_ms\": {}, \"improvement\": {}}}{}\n",
+            k.name,
+            k.input_rows,
+            num(k.legacy_clone_key_ms),
+            num(k.current_ms),
+            num(k.improvement),
+            comma(i, ks.len()),
+        ));
+    }
+    s.push_str(if trailing_comma {
+        "    ],\n"
+    } else {
+        "    ]\n"
+    });
+}
+
+/// Check fresh workload peaks against a committed baseline report
+/// (`BENCH_exec.json`). The scan is deliberately naive — one workload
+/// object per line, extract `name` and `peak_intermediate_bytes` from
+/// lines that carry both — so it needs no JSON dependency. Workloads
+/// missing from the baseline are ignored (new workloads are allowed); a
+/// fresh peak more than `tolerance` times its baseline is a regression.
+pub fn check_peak_regression(
+    baseline_json: &str,
+    workloads: &[WorkloadReport],
+    tolerance: f64,
+) -> std::result::Result<(), String> {
+    let mut baseline: HashMap<String, u64> = HashMap::new();
+    for line in baseline_json.lines() {
+        let Some(name) = extract_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let Some(peak) = extract_u64(line, "\"peak_intermediate_bytes\": ") else {
+            continue;
+        };
+        baseline.insert(name, peak);
+    }
+    let mut errs = Vec::new();
+    for w in workloads {
+        if let Some(&base) = baseline.get(w.name) {
+            let limit = (base as f64 * tolerance).ceil() as u64;
+            if w.peak_intermediate_bytes > limit {
+                errs.push(format!(
+                    "{}: peak_intermediate_bytes {} exceeds {} ({} x baseline {})",
+                    w.name, w.peak_intermediate_bytes, limit, tolerance, base
+                ));
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs.join("\n"))
+    }
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn extract_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
@@ -1048,7 +1509,24 @@ mod tests {
         })
         .unwrap();
         assert_eq!(report.workloads.len(), 6);
-        assert_eq!(report.serial_kernels.len(), 2);
+        assert_eq!(report.serial_kernels.clone_key.len(), 2);
+        let bvr_names: Vec<_> = report
+            .serial_kernels
+            .batch_vs_row
+            .iter()
+            .map(|k| k.name)
+            .collect();
+        assert_eq!(bvr_names, ["filter", "hash_join", "group_by"]);
+        for k in &report.serial_kernels.batch_vs_row {
+            assert!(k.row_ms > 0.0 && k.batch_ms > 0.0, "{} times", k.name);
+        }
+        let micro_names: Vec<_> = report
+            .serial_kernels
+            .row_micro
+            .iter()
+            .map(|k| k.name)
+            .collect();
+        assert_eq!(micro_names, ["predicate_eval", "probe_residual"]);
         for w in &report.workloads {
             assert!(w.input_rows > 0, "{} input", w.name);
             assert!(w.serial_ms > 0.0 && w.parallel_ms > 0.0, "{} times", w.name);
@@ -1072,8 +1550,69 @@ mod tests {
         assert!(json.contains("\"incremental_matches_refresh\": true"));
         assert!(json.contains("\"e8_groupby\""));
         assert!(json.contains("\"serial_kernels\""));
-        // Trailing-comma-free JSON: no ",\n  ]" sequences.
+        assert!(json.contains("\"clone_key\""));
+        assert!(json.contains("\"batch_vs_row\""));
+        assert!(json.contains("\"row_micro\""));
+        // Trailing-comma-free JSON: no ",\n<indent>]" sequences.
         assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n    ]"));
+
+        // Workload speedups are suppressed on a single-core host and
+        // emitted verbatim otherwise; the matview access-path speedup
+        // is unaffected either way.
+        let mut single = report.clone();
+        single.host_cpus = 1;
+        assert!(single
+            .to_json()
+            .contains("\"speedup\": null, \"peak_intermediate_bytes\""));
+        assert!(single.summary_table().contains("n/a"));
+        let mut multi = report;
+        multi.host_cpus = 8;
+        assert!(!multi
+            .to_json()
+            .contains("\"speedup\": null, \"peak_intermediate_bytes\""));
+    }
+
+    fn workload(name: &'static str, peak: u64) -> WorkloadReport {
+        WorkloadReport {
+            name,
+            input_rows: 1,
+            output_rows: 1,
+            serial_ms: 1.0,
+            parallel_ms: 1.0,
+            serial_rows_per_sec: 1.0,
+            parallel_rows_per_sec: 1.0,
+            speedup: 1.0,
+            peak_intermediate_bytes: peak,
+        }
+    }
+
+    #[test]
+    fn peak_baseline_check_flags_only_regressions() {
+        let baseline = concat!(
+            "  \"workloads\": [\n",
+            "    {\"name\": \"scan_filter\", \"speedup\": 1.0, \
+             \"peak_intermediate_bytes\": 1000},\n",
+            "    {\"name\": \"hash_join\", \"speedup\": null, \
+             \"peak_intermediate_bytes\": 2000}\n",
+            "  ],\n",
+            // Kernel entries have a name but no peak: must be ignored.
+            "      {\"name\": \"group_by\", \"improvement\": 2.0}\n",
+        );
+
+        // Within tolerance (exactly 10% over rounds up via ceil).
+        let ok = [workload("scan_filter", 1100), workload("hash_join", 2000)];
+        assert!(check_peak_regression(baseline, &ok, 1.10).is_ok());
+
+        // A workload absent from the baseline is allowed.
+        let new = [workload("brand_new", u64::MAX)];
+        assert!(check_peak_regression(baseline, &new, 1.10).is_ok());
+
+        // Past tolerance: named in the error.
+        let bad = [workload("scan_filter", 1101), workload("hash_join", 1999)];
+        let err = check_peak_regression(baseline, &bad, 1.10).unwrap_err();
+        assert!(err.contains("scan_filter"), "{err}");
+        assert!(!err.contains("hash_join"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Column-major batches: the unit of work of the vectorized executor.
+//!
+//! A [`Batch`] is a set of equal-length [`ColumnVec`]s plus an explicit
+//! row count (so zero-column projections still know how many rows they
+//! carry). Operators transpose base-table tuples into batches at scans,
+//! process fixed-size tiles with per-column kernels, and materialize
+//! back to `Vec<Tuple>` ([`Batch::to_tuples`]) only at plan boundaries —
+//! the result set, matview extent builds, and verification.
+//!
+//! Byte accounting is representation-independent: a batch's
+//! [`total_bytes`](Batch::total_bytes) equals the sum of
+//! [`Tuple::width`] over the rows it would materialize to, so IO-page
+//! and peak-intermediate numbers match the row-at-a-time path exactly.
+
+use crate::column::ColumnVec;
+use crate::hash::FX_SEED;
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+use std::ops::Range;
+
+/// A column-major batch of rows.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    cols: Vec<ColumnVec>,
+    len: usize,
+}
+
+impl Batch {
+    /// Build from columns, which must share one length.
+    pub fn new(cols: Vec<ColumnVec>) -> Batch {
+        let len = cols.first().map_or(0, ColumnVec::len);
+        debug_assert!(cols.iter().all(|c| c.len() == len));
+        Batch { cols, len }
+    }
+
+    /// An empty batch with one typed column per entry of `types`.
+    pub fn empty_typed(types: &[DataType]) -> Batch {
+        Batch {
+            cols: types.iter().map(|&t| ColumnVec::with_type(t)).collect(),
+            len: 0,
+        }
+    }
+
+    /// An empty batch with the same column representations as `self`.
+    pub fn empty_like(&self) -> Batch {
+        Batch {
+            cols: self.cols.iter().map(ColumnVec::empty_like).collect(),
+            len: 0,
+        }
+    }
+
+    /// A zero-column batch of `len` rows (projection to nothing).
+    pub fn zero_cols(len: usize) -> Batch {
+        Batch {
+            cols: Vec::new(),
+            len,
+        }
+    }
+
+    /// Assemble from columns plus an explicit row count (used by kernels
+    /// that build output columns independently — e.g. join emit gathers
+    /// from two source batches — and for zero-column outputs).
+    pub fn from_parts(cols: Vec<ColumnVec>, len: usize) -> Batch {
+        debug_assert!(cols.iter().all(|c| c.len() == len));
+        Batch { cols, len }
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn col(&self, i: usize) -> &ColumnVec {
+        &self.cols[i]
+    }
+
+    pub fn cols(&self) -> &[ColumnVec] {
+        &self.cols
+    }
+
+    /// Consume the batch into its columns.
+    pub fn into_cols(self) -> Vec<ColumnVec> {
+        self.cols
+    }
+
+    /// The value of column `col` at row `row`.
+    pub fn value_at(&self, col: usize, row: usize) -> Value {
+        self.cols[col].value_at(row)
+    }
+
+    /// Total byte width (= Σ [`Tuple::width`] of the materialized rows).
+    pub fn total_bytes(&self) -> u64 {
+        self.cols.iter().map(ColumnVec::total_bytes).sum()
+    }
+
+    /// Transpose row-major tuples into a batch. `project` selects which
+    /// tuple positions become columns (in order); `types` gives each
+    /// output column's declared type (mismatching values degrade that
+    /// column to `Mixed`).
+    pub fn from_tuples(rows: &[Tuple], project: &[usize], types: &[DataType]) -> Batch {
+        debug_assert_eq!(project.len(), types.len());
+        let cols: Vec<ColumnVec> = project
+            .iter()
+            .zip(types)
+            .map(|(&p, &t)| ColumnVec::from_tuples_col(rows, p, t))
+            .collect();
+        Batch {
+            cols,
+            len: rows.len(),
+        }
+    }
+
+    /// Materialize back to row-major tuples (the late-materialization
+    /// boundary).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        (0..self.len)
+            .map(|r| Tuple::new(self.cols.iter().map(|c| c.value_at(r)).collect()))
+            .collect()
+    }
+
+    /// Append all rows of `other` (column representations must line up —
+    /// both sides come from the same kernel).
+    pub fn append(&mut self, other: &Batch) {
+        debug_assert_eq!(self.n_cols(), other.n_cols());
+        for (dst, src) in self.cols.iter_mut().zip(&other.cols) {
+            dst.append_column(src);
+        }
+        self.len += other.len;
+    }
+
+    /// Gather `positions` of the rows selected by `sel` (or the whole
+    /// `range` when `sel` is `None`) from `src` into `self`, returning
+    /// the byte width appended.
+    pub fn gather_from(
+        &mut self,
+        src: &Batch,
+        positions: &[usize],
+        sel: Option<&[u32]>,
+        range: Range<usize>,
+    ) -> u64 {
+        debug_assert_eq!(self.n_cols(), positions.len());
+        let mut bytes = 0u64;
+        match sel {
+            Some(sel) => {
+                for (dst, &p) in self.cols.iter_mut().zip(positions) {
+                    bytes += dst.append_gather(&src.cols[p], sel);
+                }
+                self.len += sel.len();
+            }
+            None => {
+                for (dst, &p) in self.cols.iter_mut().zip(positions) {
+                    bytes += dst.append_range(&src.cols[p], range.clone());
+                }
+                self.len += range.len();
+            }
+        }
+        bytes
+    }
+
+    /// Per-row key hashes over `key_pos` for rows `range`, written into
+    /// `out` (cleared and refilled). Uses the fx chain seeded at
+    /// [`FX_SEED`]; equal keys (cross-numeric included) hash equally.
+    pub fn hash_rows(&self, key_pos: &[usize], range: Range<usize>, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(range.len(), FX_SEED);
+        for &k in key_pos {
+            self.cols[k].hash_fx_into(range.clone(), out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn sample() -> Batch {
+        let rows = vec![
+            tuple![1i64, "a", 1.5f64],
+            tuple![2i64, "bb", 2.5f64],
+            tuple![3i64, "ccc", 3.5f64],
+        ];
+        Batch::from_tuples(
+            &rows,
+            &[0, 1, 2],
+            &[DataType::Int, DataType::Str, DataType::Float],
+        )
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let b = sample();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.n_cols(), 3);
+        let rows = b.to_tuples();
+        assert_eq!(rows[1], tuple![2i64, "bb", 2.5f64]);
+        let tuple_bytes: usize = rows.iter().map(Tuple::width).sum();
+        assert_eq!(b.total_bytes(), tuple_bytes as u64);
+    }
+
+    #[test]
+    fn gather_selects_and_projects() {
+        let b = sample();
+        let mut out = Batch::new(vec![b.col(2).empty_like(), b.col(0).empty_like()]);
+        let w = out.gather_from(&b, &[2, 0], Some(&[2, 0]), 0..0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.to_tuples()[0], tuple![3.5f64, 3i64]);
+        assert_eq!(w, 32);
+        // Range gather (no selection) appends contiguously.
+        let w2 = out.gather_from(&b, &[2, 0], None, 1..3);
+        assert_eq!(out.len(), 4);
+        assert_eq!(w2, 32);
+    }
+
+    #[test]
+    fn zero_col_batches_track_row_count() {
+        let b = sample();
+        let mut out = Batch::zero_cols(0);
+        let w = out.gather_from(&b, &[], Some(&[0, 1, 2]), 0..0);
+        assert_eq!(out.len(), 3);
+        assert_eq!(w, 0);
+        assert_eq!(out.to_tuples().len(), 3);
+        assert_eq!(out.to_tuples()[0], tuple![]);
+    }
+
+    #[test]
+    fn hash_rows_collides_only_on_equal_keys() {
+        let b = sample();
+        let mut h = Vec::new();
+        b.hash_rows(&[0], 0..3, &mut h);
+        assert_eq!(h.len(), 3);
+        assert_ne!(h[0], h[1]);
+        // Same key values in a different column layout hash equally.
+        let b2 = Batch::new(vec![ColumnVec::Float(vec![1.0, 2.0, 3.0])]);
+        let mut h2 = Vec::new();
+        b2.hash_rows(&[0], 0..3, &mut h2);
+        assert_eq!(h, h2); // Int(k) vs Float(k) must collide
+    }
+
+    #[test]
+    fn empty_key_hashes_are_uniform() {
+        let b = sample();
+        let mut h = Vec::new();
+        b.hash_rows(&[], 0..3, &mut h);
+        assert!(h.iter().all(|&x| x == h[0]));
+    }
+}

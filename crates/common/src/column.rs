@@ -1,0 +1,411 @@
+//! Typed column vectors — the storage unit of columnar batches.
+//!
+//! A [`ColumnVec`] stores one column of a batch as a contiguous typed
+//! vector (`Vec<i64>`, `Vec<f64>`, `Vec<Arc<str>>`, `Vec<bool>`), so hot
+//! kernels run tight per-column loops over primitive slices instead of
+//! matching a [`Value`] enum per cell. Columns whose values do not all
+//! share one runtime type degrade to [`ColumnVec::Mixed`], which keeps
+//! the row-at-a-time `Value` representation — correctness never depends
+//! on a column being typed, only speed does.
+//!
+//! The paper's engine has no NULLs (Section 2), so columns carry no
+//! validity bitmap; selection vectors (`Vec<u32>` of surviving row
+//! indices) play that role for filtered batches instead.
+
+use crate::hash::{fx_mix, fx_str, fx_value};
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// One column of a batch, stored as a typed vector when possible.
+#[derive(Debug, Clone)]
+pub enum ColumnVec {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<Arc<str>>),
+    Bool(Vec<bool>),
+    /// Fallback for columns without a single runtime type.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnVec {
+    /// An empty column of the given declared type.
+    pub fn with_type(ty: DataType) -> ColumnVec {
+        match ty {
+            DataType::Int => ColumnVec::Int(Vec::new()),
+            DataType::Float => ColumnVec::Float(Vec::new()),
+            DataType::Str => ColumnVec::Str(Vec::new()),
+            DataType::Bool => ColumnVec::Bool(Vec::new()),
+        }
+    }
+
+    /// An empty column of the same representation as `self`.
+    pub fn empty_like(&self) -> ColumnVec {
+        match self {
+            ColumnVec::Int(_) => ColumnVec::Int(Vec::new()),
+            ColumnVec::Float(_) => ColumnVec::Float(Vec::new()),
+            ColumnVec::Str(_) => ColumnVec::Str(Vec::new()),
+            ColumnVec::Bool(_) => ColumnVec::Bool(Vec::new()),
+            ColumnVec::Mixed(_) => ColumnVec::Mixed(Vec::new()),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Int(v) => v.len(),
+            ColumnVec::Float(v) => v.len(),
+            ColumnVec::Str(v) => v.len(),
+            ColumnVec::Bool(v) => v.len(),
+            ColumnVec::Mixed(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `i` as an owned [`Value`] (cheap: strings are `Arc`).
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            ColumnVec::Int(v) => Value::Int(v[i]),
+            ColumnVec::Float(v) => Value::Float(v[i]),
+            ColumnVec::Str(v) => Value::Str(v[i].clone()),
+            ColumnVec::Bool(v) => Value::Bool(v[i]),
+            ColumnVec::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Byte width of the value at `i`, matching [`Value::width`].
+    pub fn width_at(&self, i: usize) -> usize {
+        match self {
+            ColumnVec::Int(_) | ColumnVec::Float(_) => 8,
+            ColumnVec::Str(v) => v[i].len().max(1),
+            ColumnVec::Bool(_) => 1,
+            ColumnVec::Mixed(v) => v[i].width(),
+        }
+    }
+
+    /// Total byte width of the column (the sum of [`Value::width`] over
+    /// every entry — identical to summing the widths of the tuples the
+    /// column came from).
+    pub fn total_bytes(&self) -> u64 {
+        match self {
+            ColumnVec::Int(v) => 8 * v.len() as u64,
+            ColumnVec::Float(v) => 8 * v.len() as u64,
+            ColumnVec::Str(v) => v.iter().map(|s| s.len().max(1) as u64).sum(),
+            ColumnVec::Bool(v) => v.len() as u64,
+            ColumnVec::Mixed(v) => v.iter().map(|x| x.width() as u64).sum(),
+        }
+    }
+
+    /// Transpose tuple position `p` of `rows` into a column declared as
+    /// `ty`. Column-major: the variant dispatch happens once per column
+    /// and the typed sweep copies payloads into a pre-reserved vector;
+    /// the first value that does not match the declared type (only
+    /// possible on ill-typed data) demotes the column to `Mixed` and the
+    /// remainder goes through [`ColumnVec::push_value`], producing
+    /// exactly what a row-major `push_value` loop would.
+    pub fn from_tuples_col(rows: &[Tuple], p: usize, ty: DataType) -> ColumnVec {
+        let mut col = ColumnVec::with_type(ty);
+        let typed = match &mut col {
+            ColumnVec::Int(out) => fill_typed(rows, p, out, |v| match v {
+                Value::Int(x) => Some(*x),
+                _ => None,
+            }),
+            ColumnVec::Float(out) => fill_typed(rows, p, out, |v| match v {
+                Value::Float(x) => Some(*x),
+                _ => None,
+            }),
+            ColumnVec::Str(out) => fill_typed(rows, p, out, |v| match v {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            }),
+            ColumnVec::Bool(out) => fill_typed(rows, p, out, |v| match v {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }),
+            ColumnVec::Mixed(out) => {
+                out.extend(rows.iter().map(|r| r.get(p).clone()));
+                rows.len()
+            }
+        };
+        for row in &rows[typed..] {
+            col.push_value(row.get(p).clone());
+        }
+        col
+    }
+
+    /// Append a value, degrading to `Mixed` on a type mismatch.
+    pub fn push_value(&mut self, v: Value) {
+        match (&mut *self, v) {
+            (ColumnVec::Int(xs), Value::Int(x)) => xs.push(x),
+            (ColumnVec::Float(xs), Value::Float(x)) => xs.push(x),
+            (ColumnVec::Str(xs), Value::Str(s)) => xs.push(s),
+            (ColumnVec::Bool(xs), Value::Bool(b)) => xs.push(b),
+            (ColumnVec::Mixed(xs), v) => xs.push(v),
+            (_, v) => {
+                self.make_mixed();
+                if let ColumnVec::Mixed(xs) = self {
+                    xs.push(v);
+                }
+            }
+        }
+    }
+
+    fn make_mixed(&mut self) {
+        if matches!(self, ColumnVec::Mixed(_)) {
+            return;
+        }
+        let vals: Vec<Value> = (0..self.len()).map(|i| self.value_at(i)).collect();
+        *self = ColumnVec::Mixed(vals);
+    }
+
+    /// Append `src[idx]` for every index in `sel`, returning the byte
+    /// width appended. This is the late-materialization gather: output
+    /// columns are assembled from selection vectors without ever building
+    /// intermediate row tuples.
+    pub fn append_gather(&mut self, src: &ColumnVec, sel: &[u32]) -> u64 {
+        match (&mut *self, src) {
+            (ColumnVec::Int(out), ColumnVec::Int(xs)) => {
+                out.extend(sel.iter().map(|&i| xs[i as usize]));
+                8 * sel.len() as u64
+            }
+            (ColumnVec::Float(out), ColumnVec::Float(xs)) => {
+                out.extend(sel.iter().map(|&i| xs[i as usize]));
+                8 * sel.len() as u64
+            }
+            (ColumnVec::Str(out), ColumnVec::Str(xs)) => {
+                let mut w = 0u64;
+                out.extend(sel.iter().map(|&i| {
+                    let s = &xs[i as usize];
+                    w += s.len().max(1) as u64;
+                    s.clone()
+                }));
+                w
+            }
+            (ColumnVec::Bool(out), ColumnVec::Bool(xs)) => {
+                out.extend(sel.iter().map(|&i| xs[i as usize]));
+                sel.len() as u64
+            }
+            _ => {
+                let mut w = 0u64;
+                for &i in sel {
+                    w += src.width_at(i as usize) as u64;
+                    self.push_value(src.value_at(i as usize));
+                }
+                w
+            }
+        }
+    }
+
+    /// Append the contiguous range `range` of `src` (the unselective
+    /// fast path of a filterless scan), returning the byte width added.
+    pub fn append_range(&mut self, src: &ColumnVec, range: Range<usize>) -> u64 {
+        match (&mut *self, src) {
+            (ColumnVec::Int(out), ColumnVec::Int(xs)) => {
+                out.extend_from_slice(&xs[range.clone()]);
+                8 * range.len() as u64
+            }
+            (ColumnVec::Float(out), ColumnVec::Float(xs)) => {
+                out.extend_from_slice(&xs[range.clone()]);
+                8 * range.len() as u64
+            }
+            (ColumnVec::Str(out), ColumnVec::Str(xs)) => {
+                let mut w = 0u64;
+                out.extend(xs[range].iter().map(|s| {
+                    w += s.len().max(1) as u64;
+                    s.clone()
+                }));
+                w
+            }
+            (ColumnVec::Bool(out), ColumnVec::Bool(xs)) => {
+                out.extend_from_slice(&xs[range.clone()]);
+                range.len() as u64
+            }
+            _ => {
+                let mut w = 0u64;
+                for i in range {
+                    w += src.width_at(i) as u64;
+                    self.push_value(src.value_at(i));
+                }
+                w
+            }
+        }
+    }
+
+    /// Append every entry of `src`, preserving order (chunk stitching).
+    pub fn append_column(&mut self, src: &ColumnVec) {
+        self.append_range(src, 0..src.len());
+    }
+
+    /// Value equality between `self[i]` and `other[j]` under the same
+    /// cross-numeric rules as [`Value::eq`] (`Int(3) == Float(3.0)`,
+    /// floats by total order, cross-type otherwise unequal).
+    pub fn eq_rows(&self, i: usize, other: &ColumnVec, j: usize) -> bool {
+        use std::cmp::Ordering::Equal;
+        match (self, other) {
+            (ColumnVec::Int(a), ColumnVec::Int(b)) => a[i] == b[j],
+            (ColumnVec::Float(a), ColumnVec::Float(b)) => a[i].total_cmp(&b[j]) == Equal,
+            (ColumnVec::Int(a), ColumnVec::Float(b)) => (a[i] as f64).total_cmp(&b[j]) == Equal,
+            (ColumnVec::Float(a), ColumnVec::Int(b)) => a[i].total_cmp(&(b[j] as f64)) == Equal,
+            (ColumnVec::Str(a), ColumnVec::Str(b)) => a[i] == b[j],
+            (ColumnVec::Bool(a), ColumnVec::Bool(b)) => a[i] == b[j],
+            _ => self.value_at(i) == other.value_at(j),
+        }
+    }
+
+    /// Fold rows `range` of this column into the per-row hash chain
+    /// `out` (`out[k]` accumulates row `range.start + k`). The chain
+    /// preserves [`Value`]'s collision guarantee: equal values — across
+    /// Int/Float — fold identically, whether the column is typed or
+    /// `Mixed`.
+    pub fn hash_fx_into(&self, range: Range<usize>, out: &mut [u64]) {
+        debug_assert_eq!(range.len(), out.len());
+        match self {
+            ColumnVec::Int(xs) => {
+                for (o, &x) in out.iter_mut().zip(&xs[range]) {
+                    *o = fx_mix(fx_mix(*o, 0), (x as f64).to_bits());
+                }
+            }
+            ColumnVec::Float(xs) => {
+                for (o, &x) in out.iter_mut().zip(&xs[range]) {
+                    *o = fx_mix(fx_mix(*o, 0), x.to_bits());
+                }
+            }
+            ColumnVec::Str(xs) => {
+                for (o, s) in out.iter_mut().zip(&xs[range]) {
+                    *o = fx_str(*o, s);
+                }
+            }
+            ColumnVec::Bool(xs) => {
+                for (o, &b) in out.iter_mut().zip(&xs[range]) {
+                    *o = fx_mix(fx_mix(*o, 2), u64::from(b));
+                }
+            }
+            ColumnVec::Mixed(xs) => {
+                for (o, v) in out.iter_mut().zip(&xs[range]) {
+                    *o = fx_value(*o, v);
+                }
+            }
+        }
+    }
+
+    /// Typed slice views, used by vectorized kernels to specialize loops.
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match self {
+            ColumnVec::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<&[f64]> {
+        match self {
+            ColumnVec::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str_col(&self) -> Option<&[Arc<str>]> {
+        match self {
+            ColumnVec::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<&[bool]> {
+        match self {
+            ColumnVec::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Typed transpose sweep: extract `p` of every row while the payload
+/// matches, returning how many rows were consumed (all of them for
+/// well-typed data).
+fn fill_typed<T>(
+    rows: &[Tuple],
+    p: usize,
+    out: &mut Vec<T>,
+    extract: impl Fn(&Value) -> Option<T>,
+) -> usize {
+    out.reserve(rows.len());
+    for (k, row) in rows.iter().enumerate() {
+        match extract(row.get(p)) {
+            Some(x) => out.push(x),
+            None => return k,
+        }
+    }
+    rows.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::FX_SEED;
+
+    #[test]
+    fn typed_push_and_mixed_degradation() {
+        let mut c = ColumnVec::with_type(DataType::Int);
+        c.push_value(Value::Int(1));
+        c.push_value(Value::Int(2));
+        assert!(c.as_int().is_some());
+        c.push_value(Value::str("oops"));
+        assert!(c.as_int().is_none());
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value_at(0), Value::Int(1));
+        assert_eq!(c.value_at(2), Value::str("oops"));
+    }
+
+    #[test]
+    fn widths_match_value_widths() {
+        let mut c = ColumnVec::with_type(DataType::Str);
+        c.push_value(Value::str("abcd"));
+        c.push_value(Value::str(""));
+        assert_eq!(c.width_at(0), 4);
+        assert_eq!(c.width_at(1), 1); // empty strings charge 1, like Value::width
+        assert_eq!(c.total_bytes(), 5);
+        let mut m = ColumnVec::Mixed(vec![Value::Int(1), Value::Bool(true)]);
+        m.push_value(Value::str("xy"));
+        assert_eq!(m.total_bytes(), 8 + 1 + 2);
+    }
+
+    #[test]
+    fn gather_and_range_append_preserve_values() {
+        let src = ColumnVec::Float(vec![1.0, 2.0, 3.0, 4.0]);
+        let mut out = src.empty_like();
+        let w = out.append_gather(&src, &[3, 1]);
+        assert_eq!(w, 16);
+        assert_eq!(out.value_at(0), Value::Float(4.0));
+        assert_eq!(out.value_at(1), Value::Float(2.0));
+        let w2 = out.append_range(&src, 0..2);
+        assert_eq!(w2, 16);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.value_at(3), Value::Float(2.0));
+    }
+
+    #[test]
+    fn eq_rows_is_cross_numeric() {
+        let a = ColumnVec::Int(vec![3, 4]);
+        let b = ColumnVec::Float(vec![3.0, 4.5]);
+        assert!(a.eq_rows(0, &b, 0));
+        assert!(!a.eq_rows(1, &b, 1));
+        let m = ColumnVec::Mixed(vec![Value::Float(3.0)]);
+        assert!(a.eq_rows(0, &m, 0));
+        let s = ColumnVec::Str(vec![Arc::from("3")]);
+        assert!(!a.eq_rows(0, &s, 0)); // cross-type is unequal, not an error
+    }
+
+    #[test]
+    fn typed_and_mixed_hash_chains_agree() {
+        let typed = ColumnVec::Int(vec![7, 8]);
+        let mixed = ColumnVec::Mixed(vec![Value::Int(7), Value::Float(8.0)]);
+        let mut ht = vec![FX_SEED; 2];
+        let mut hm = vec![FX_SEED; 2];
+        typed.hash_fx_into(0..2, &mut ht);
+        mixed.hash_fx_into(0..2, &mut hm);
+        assert_eq!(ht, hm);
+        assert_ne!(ht[0], ht[1]);
+    }
+}

@@ -207,6 +207,24 @@ impl BoundExpr {
             }
         }
     }
+
+    /// Evaluate with an arbitrary position-to-value accessor.
+    ///
+    /// Lets operators evaluate bound expressions against rows that are
+    /// not materialized as a single [`Tuple`] — a column-major batch
+    /// row, or the virtual concatenation of a build and a probe tuple —
+    /// with identical semantics and error messages to [`eval`](Self::eval).
+    pub fn eval_with(&self, get: &impl Fn(usize) -> Value) -> Result<Value> {
+        match self {
+            BoundExpr::Col(i) => Ok(get(*i)),
+            BoundExpr::Const(v) => Ok(v.clone()),
+            BoundExpr::Binary { op, left, right } => {
+                let l = left.eval_with(get)?;
+                let r = right.eval_with(get)?;
+                eval_binary(*op, &l, &r)
+            }
+        }
+    }
 }
 
 fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {

@@ -97,10 +97,78 @@ impl Hasher for Prehashed {
     }
 }
 
+/// Seed for the fx-style columnar hash chain ([`fx_mix`]).
+pub const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// One multiply-rotate mixing step for the columnar hash chain.
+///
+/// The row-at-a-time operators hash through [`std::collections::hash_map::DefaultHasher`]
+/// (SipHash), which costs more per value than some whole batch kernels.
+/// Columnar operators instead fold each key column into a per-row `u64`
+/// with this multiply-rotate step. The hash function is a *private*
+/// detail of each operator execution — candidates are always confirmed
+/// by comparing the key values, and group/candidate order never depends
+/// on hash values — so the batch path is free to use a cheaper mix than
+/// the row path. Equal keys must still collide: numerics are fed as
+/// their `f64` bit pattern with a shared tag, exactly like
+/// [`Value`](crate::Value)'s `Hash` impl.
+#[inline]
+pub fn fx_mix(h: u64, x: u64) -> u64 {
+    const K: u64 = 0x9e37_79b9_7f4a_7c15;
+    (h ^ x).rotate_left(23).wrapping_mul(K)
+}
+
+/// Fold a string into the hash chain (length-suffixed 8-byte chunks, so
+/// `"ab" ++ "c"` and `"a" ++ "bc"` cannot collide by concatenation).
+#[inline]
+pub fn fx_str(h: u64, s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut h = fx_mix(h, 1); // Str tag, mirroring Value::hash
+    for chunk in bytes.chunks(8) {
+        let mut buf = [0u8; 8];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        h = fx_mix(h, u64::from_le_bytes(buf));
+    }
+    fx_mix(h, bytes.len() as u64)
+}
+
+/// Fold one [`Value`] into the hash chain with the same cross-numeric
+/// collision guarantee as [`Value`]'s `Hash` impl: `Int(3)` and
+/// `Float(3.0)` produce the same chain.
+#[inline]
+pub fn fx_value(h: u64, v: &Value) -> u64 {
+    match v {
+        Value::Int(i) => fx_mix(fx_mix(h, 0), (*i as f64).to_bits()),
+        Value::Float(f) => fx_mix(fx_mix(h, 0), f.to_bits()),
+        Value::Str(s) => fx_str(h, s),
+        Value::Bool(b) => fx_mix(fx_mix(h, 2), u64::from(*b)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::tuple;
+
+    #[test]
+    fn fx_cross_numeric_values_collide() {
+        assert_eq!(
+            fx_value(FX_SEED, &Value::Int(3)),
+            fx_value(FX_SEED, &Value::Float(3.0))
+        );
+        assert_ne!(
+            fx_value(FX_SEED, &Value::Int(3)),
+            fx_value(FX_SEED, &Value::Int(4))
+        );
+    }
+
+    #[test]
+    fn fx_str_is_length_suffixed() {
+        let ab_c = fx_str(fx_str(FX_SEED, "ab"), "c");
+        let a_bc = fx_str(fx_str(FX_SEED, "a"), "bc");
+        assert_ne!(ab_c, a_bc);
+        assert_eq!(fx_str(FX_SEED, "hello"), fx_str(FX_SEED, "hello"));
+    }
 
     #[test]
     fn equal_keys_hash_equally_without_cloning() {

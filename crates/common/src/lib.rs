@@ -17,11 +17,15 @@
 //! * [`hash`] — allocation-free, thread-consistent key hashing used by
 //!   the executor's hash join, hash aggregation, and the partitioned
 //!   parallel operators built on them,
+//! * [`ColumnVec`] / [`Batch`] — typed column vectors and column-major
+//!   batches, the data representation of the vectorized executor,
 //! * [`AggViewError`] — the workspace-wide error type.
 
 #![forbid(unsafe_code)]
 
 pub mod agg;
+pub mod batch;
+pub mod column;
 pub mod error;
 pub mod expr;
 pub mod fault;
@@ -33,6 +37,8 @@ pub mod tuple;
 pub mod value;
 
 pub use agg::{AggAccumulator, AggFunc, AggSpec, PartialAggState};
+pub use batch::Batch;
+pub use column::ColumnVec;
 pub use error::{AggViewError, Result};
 pub use expr::{BinaryOp, Expr};
 pub use fault::{

@@ -279,6 +279,49 @@ impl ResourceGovernor {
         self.charge_bytes(bytes)
     }
 
+    /// Charge a whole tile of output in two atomic operations while
+    /// keeping the per-row overshoot bound.
+    ///
+    /// The vectorized operators produce up to `batch_rows` tuples per
+    /// kernel invocation; charging them row-at-a-time would reintroduce
+    /// one atomic RMW per tuple. A plain bulk `fetch_add` would instead
+    /// let a single tile overshoot a cap by `batch_rows - 1` — visible to
+    /// the governance tests, which pin the overshoot to at most one row
+    /// per worker. [`charge_clamped`](Self::charge_clamped) reconciles
+    /// the two: it adds the whole tile, and on crossing a cap rolls the
+    /// counter back to exactly `cap + 1` before reporting exhaustion, so
+    /// observed usage is identical to the row-at-a-time path's
+    /// first-overrunning-charge state.
+    pub fn charge_output_bulk(&self, rows: u64, bytes: u64) -> Result<()> {
+        Self::charge_clamped(&self.rows, self.limits.max_rows, rows, "row")
+            .map_err(AggViewError::ResourceExhausted)?;
+        Self::charge_clamped(&self.bytes, self.limits.max_bytes, bytes, "memory")
+            .map_err(AggViewError::ResourceExhausted)
+    }
+
+    fn charge_clamped(
+        counter: &AtomicU64,
+        limit: Option<u64>,
+        n: u64,
+        what: &str,
+    ) -> std::result::Result<(), String> {
+        let total = counter.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(cap) = limit {
+            if total > cap {
+                // Roll back to cap + 1 (never below what this call added)
+                // so usage reads as if the first over-cap row had been
+                // charged individually.
+                let roll_back = (total - cap - 1).min(n);
+                counter.fetch_sub(roll_back, Ordering::Relaxed);
+                return Err(format!(
+                    "{what} budget exhausted ({} > {cap})",
+                    total - roll_back
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Charge `n` costed plans against the optimizer search budget.
     pub fn charge_plans(&self, n: u64) -> Result<()> {
         Self::charge(&self.plans, self.limits.max_plans, n, "optimizer plan")
@@ -358,6 +401,28 @@ mod tests {
         assert!(t.is_cancelled());
         let err = t.check().unwrap_err();
         assert_eq!(err.kind(), "cancelled");
+    }
+
+    #[test]
+    fn bulk_charge_clamps_overshoot_to_one_row() {
+        let g = ResourceGovernor::new(ResourceLimits {
+            max_rows: Some(10),
+            ..ResourceLimits::unlimited()
+        });
+        assert!(g.charge_output_bulk(8, 100).is_ok());
+        // A 1024-row tile crossing the cap trips the budget but leaves
+        // the counter at exactly cap + 1, matching row-at-a-time charging.
+        let err = g.charge_output_bulk(1024, 100).unwrap_err();
+        assert_eq!(err.kind(), "resource-exhausted");
+        assert!(err.to_string().contains("row budget exhausted (11 > 10)"));
+        assert_eq!(g.rows_used(), 11);
+        // A bulk charge that lands exactly on the cap is fine.
+        let g2 = ResourceGovernor::new(ResourceLimits {
+            max_rows: Some(10),
+            ..ResourceLimits::unlimited()
+        });
+        assert!(g2.charge_output_bulk(10, 0).is_ok());
+        assert_eq!(g2.rows_used(), 10);
     }
 
     #[test]

@@ -1,15 +1,27 @@
 //! The recursive plan evaluator.
 //!
 //! Evaluation is materialized (each operator consumes and produces
-//! `Vec<Tuple>`); IO is *accounted*, not performed: every operator
-//! charges the pages the paper's cost model says it would transfer,
-//! computed from the **actual** sizes of its inputs and outputs via the
-//! shared formulas in [`aggview_core::cost::ops`].
+//! `Vec<Tuple>` in row mode, a columnar [`Batch`] in the default batch
+//! mode); IO is *accounted*, not performed: every operator charges the
+//! pages the paper's cost model says it would transfer, computed from
+//! the **actual** sizes of its inputs and outputs via the shared
+//! formulas in [`aggview_core::cost::ops`].
+//!
+//! The two modes ([`crate::parallel::ExecMode`]) are observationally
+//! identical — same rows in the same order, same IO pages, same peak
+//! intermediate bytes, same governor/fault/analyzer behavior — and the
+//! row path is kept as the executable reference the differential tests
+//! compare the vectorized path against. Batches materialize back to
+//! rows only at the plan boundary ([`ResultSet::rows`]).
 
-use crate::parallel::{self, ExecOptions, JoinEmit};
+use crate::parallel::{self, ExecMode, ExecOptions, JoinEmit};
 use crate::partition::AggInput;
+use crate::vector;
+use aggview_common::expr::BoundExpr;
 use aggview_common::fault::{maybe_fault, FaultInjector};
-use aggview_common::{AggFunc, AggViewError, Col, Predicate, RelId, Result, Tuple};
+use aggview_common::{
+    AggFunc, AggViewError, Batch, Col, ColumnVec, DataType, Predicate, RelId, Result, Tuple,
+};
 use aggview_core::cost::ops::{self, JoinSides};
 use aggview_core::cost::CostModel;
 use aggview_core::governor::ResourceGovernor;
@@ -88,6 +100,50 @@ impl ExecCtx<'_> {
     }
 }
 
+/// One operator's materialized output: row-major in row mode, columnar
+/// in batch mode. The mode is fixed per execution, so an operator's
+/// children always hand it the representation it expects; rows are
+/// materialized from batches only at the plan boundary.
+enum Data {
+    Rows(Vec<Tuple>),
+    Batch(Batch),
+}
+
+impl Data {
+    fn len(&self) -> usize {
+        match self {
+            Data::Rows(r) => r.len(),
+            Data::Batch(b) => b.len(),
+        }
+    }
+
+    /// Late materialization: row-major output at the plan boundary.
+    fn into_rows(self) -> Vec<Tuple> {
+        match self {
+            Data::Rows(r) => r,
+            Data::Batch(b) => b.to_tuples(),
+        }
+    }
+}
+
+/// Collect every input position a bound predicate reads.
+fn bound_cols(preds: &[aggview_common::predicate::BoundPredicate], out: &mut Vec<usize>) {
+    fn walk(e: &BoundExpr, out: &mut Vec<usize>) {
+        match e {
+            BoundExpr::Col(i) => out.push(*i),
+            BoundExpr::Const(_) => {}
+            BoundExpr::Binary { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+        }
+    }
+    for p in preds {
+        walk(&p.left, out);
+        walk(&p.right, out);
+    }
+}
+
 impl<'a> Engine<'a> {
     pub fn new(catalog: &'a Catalog, env: &'a QueryEnv, model: CostModel) -> Self {
         Engine {
@@ -142,18 +198,18 @@ impl<'a> Engine<'a> {
             options: self.options,
             peak_bytes: 0,
         };
-        let (cols, rows) = self.exec(plan, &mut ctx)?;
+        let (cols, data) = self.exec(plan, &mut ctx)?;
         let io_pages = ctx.breakdown.iter().map(|b| b.pages).sum();
         Ok(ResultSet {
             cols,
-            rows,
+            rows: data.into_rows(),
             io_pages,
             breakdown: ctx.breakdown,
             peak_intermediate_bytes: ctx.peak_bytes,
         })
     }
 
-    fn exec(&self, plan: &Plan, ctx: &mut ExecCtx<'_>) -> Result<(Vec<Col>, Vec<Tuple>)> {
+    fn exec(&self, plan: &Plan, ctx: &mut ExecCtx<'_>) -> Result<(Vec<Col>, Data)> {
         match plan {
             Plan::Scan {
                 rel,
@@ -206,7 +262,7 @@ impl<'a> Engine<'a> {
         filters: &[Predicate],
         project: &[Col],
         ctx: &mut ExecCtx<'_>,
-    ) -> Result<(Vec<Col>, Vec<Tuple>)> {
+    ) -> Result<(Vec<Col>, Data)> {
         ctx.gov.check_interrupt()?;
         maybe_fault(ctx.faults, &format!("storage.scan.{table}"))?;
         let t = self.catalog.get(table)?;
@@ -234,10 +290,71 @@ impl<'a> Engine<'a> {
                 })
             })
             .collect::<Result<_>>()?;
-        let (rows, out_bytes) =
-            parallel::filter_project(&ctx.options, ctx.gov, t.rows(), &bound, &positions)?;
-        ctx.note_op_output(out_bytes);
-        Ok((project.to_vec(), rows))
+        let data = self.scan_tail(
+            ctx,
+            t.rows(),
+            t.schema(),
+            filters,
+            &layout,
+            &bound,
+            &positions,
+        )?;
+        Ok((project.to_vec(), data))
+    }
+
+    /// Shared tail of both scan operators: run the pushed-down filters
+    /// and the projection over the table's rows in the active mode.
+    ///
+    /// `layout` maps logical columns to *physical* tuple positions, and
+    /// `bound` are `filters` already bound against it (so any
+    /// unknown-column error has already surfaced). The batch path
+    /// transposes only the physical columns the filters and projection
+    /// actually touch, re-binding onto that compact layout — which
+    /// cannot fail — before running the columnar kernel.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_tail(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        rows: &[Tuple],
+        schema: &aggview_common::Schema,
+        filters: &[Predicate],
+        layout: &HashMap<Col, usize>,
+        bound: &[aggview_common::predicate::BoundPredicate],
+        positions: &[usize],
+    ) -> Result<Data> {
+        match ctx.options.mode {
+            ExecMode::Row => {
+                let (out, out_bytes) =
+                    parallel::filter_project(&ctx.options, ctx.gov, rows, bound, positions)?;
+                ctx.note_op_output(out_bytes);
+                Ok(Data::Rows(out))
+            }
+            ExecMode::Batch => {
+                let mut used: Vec<usize> = positions.to_vec();
+                bound_cols(bound, &mut used);
+                used.sort_unstable();
+                used.dedup();
+                let remap: HashMap<usize, usize> =
+                    used.iter().enumerate().map(|(n, &p)| (p, n)).collect();
+                let types: Vec<DataType> = used.iter().map(|&p| schema.field(p).ty).collect();
+                let bound_c: Vec<_> = filters
+                    .iter()
+                    .map(|p| p.bind(&|c| layout.get(&c).and_then(|fp| remap.get(fp)).copied()))
+                    .collect::<Result<_>>()?;
+                let cpos: Vec<usize> = positions.iter().map(|p| remap[p]).collect();
+                let (out, out_bytes) = vector::scan_filter_project(
+                    &ctx.options,
+                    ctx.gov,
+                    rows,
+                    &used,
+                    &types,
+                    &bound_c,
+                    &cpos,
+                )?;
+                ctx.note_op_output(out_bytes);
+                Ok(Data::Batch(out))
+            }
+        }
     }
 
     fn exec_scan(
@@ -247,7 +364,7 @@ impl<'a> Engine<'a> {
         filters: &[Predicate],
         project: &[Col],
         ctx: &mut ExecCtx<'_>,
-    ) -> Result<(Vec<Col>, Vec<Tuple>)> {
+    ) -> Result<(Vec<Col>, Data)> {
         ctx.gov.check_interrupt()?;
         maybe_fault(ctx.faults, &format!("storage.scan.{table}"))?;
         let t = self.catalog.get(table)?;
@@ -273,10 +390,16 @@ impl<'a> Engine<'a> {
                 })
             })
             .collect::<Result<_>>()?;
-        let (rows, out_bytes) =
-            parallel::filter_project(&ctx.options, ctx.gov, t.rows(), &bound, &positions)?;
-        ctx.note_op_output(out_bytes);
-        Ok((project.to_vec(), rows))
+        let data = self.scan_tail(
+            ctx,
+            t.rows(),
+            t.schema(),
+            filters,
+            &layout,
+            &bound,
+            &positions,
+        )?;
+        Ok((project.to_vec(), data))
     }
 
     fn exec_join(
@@ -287,16 +410,16 @@ impl<'a> Engine<'a> {
         preds: &[Predicate],
         project: &[Col],
         ctx: &mut ExecCtx<'_>,
-    ) -> Result<(Vec<Col>, Vec<Tuple>)> {
+    ) -> Result<(Vec<Col>, Data)> {
         ctx.gov.check_interrupt()?;
         maybe_fault(ctx.faults, "exec.join")?;
-        let (lcols, lrows) = self.exec(left, ctx)?;
-        let (rcols, rrows) = self.exec(right, ctx)?;
+        let (lcols, ldata) = self.exec(left, ctx)?;
+        let (rcols, rdata) = self.exec(right, ctx)?;
         let sides = JoinSides {
-            left_rows: lrows.len() as f64,
-            left_pages: self.pages_of(&lrows),
-            right_rows: rrows.len() as f64,
-            right_pages: self.pages_of(&rrows),
+            left_rows: ldata.len() as f64,
+            left_pages: self.pages_of_data(&ldata),
+            right_rows: rdata.len() as f64,
+            right_pages: self.pages_of_data(&rdata),
         };
         let mem = self.model.io.mem_pages;
         let (algo, charge) = match algo {
@@ -359,42 +482,83 @@ impl<'a> Engine<'a> {
             })
             .collect::<Result<_>>()?;
 
-        let (out, out_bytes) = if eq_keys.is_empty() {
-            parallel::nested_loop_join(
-                &ctx.options,
-                ctx.gov,
-                &lrows,
-                &rrows,
-                &bound_residual,
-                &positions,
-            )?
+        // Build on the smaller input, probe the larger (hash join only).
+        let build_left = ldata.len() <= rdata.len();
+        let (build_pos, probe_pos): (Vec<usize>, Vec<usize>) = if build_left {
+            eq_keys.iter().copied().unzip()
         } else {
-            // Hash join: build on the smaller input, probe the larger.
-            let build_left = lrows.len() <= rrows.len();
-            let (build, probe) = if build_left {
-                (&lrows, &rrows)
-            } else {
-                (&rrows, &lrows)
-            };
-            let (build_pos, probe_pos): (Vec<usize>, Vec<usize>) = if build_left {
-                eq_keys.iter().copied().unzip()
-            } else {
-                eq_keys.iter().map(|&(l, r)| (r, l)).unzip()
-            };
-            let index = parallel::build_index(&ctx.options, ctx.gov, build, &build_pos)?;
-            let emit = JoinEmit::new(&positions, lcols.len(), build_left);
-            parallel::probe_join(
-                &ctx.options,
-                ctx.gov,
-                build,
-                probe,
-                &index,
-                &build_pos,
-                &probe_pos,
-                &bound_residual,
-                build_left,
-                &emit,
-            )?
+            eq_keys.iter().map(|&(l, r)| (r, l)).unzip()
+        };
+
+        let (out, out_bytes) = match (ldata, rdata) {
+            (Data::Rows(lrows), Data::Rows(rrows)) => {
+                let (out, bytes) = if eq_keys.is_empty() {
+                    parallel::nested_loop_join(
+                        &ctx.options,
+                        ctx.gov,
+                        &lrows,
+                        &rrows,
+                        &bound_residual,
+                        &positions,
+                    )?
+                } else {
+                    let (build, probe) = if build_left {
+                        (&lrows, &rrows)
+                    } else {
+                        (&rrows, &lrows)
+                    };
+                    let index = parallel::build_index(&ctx.options, ctx.gov, build, &build_pos)?;
+                    let emit = JoinEmit::new(&positions, lcols.len(), build_left);
+                    parallel::probe_join(
+                        &ctx.options,
+                        ctx.gov,
+                        build,
+                        probe,
+                        &index,
+                        &build_pos,
+                        &probe_pos,
+                        &bound_residual,
+                        build_left,
+                        &emit,
+                    )?
+                };
+                (Data::Rows(out), bytes)
+            }
+            (Data::Batch(lb), Data::Batch(rb)) => {
+                let (out, bytes) = if eq_keys.is_empty() {
+                    vector::nested_loop_join(
+                        &ctx.options,
+                        ctx.gov,
+                        &lb,
+                        &rb,
+                        &bound_residual,
+                        &positions,
+                    )?
+                } else {
+                    let (build, probe) = if build_left { (&lb, &rb) } else { (&rb, &lb) };
+                    let index = vector::build_index(&ctx.options, ctx.gov, build, &build_pos)?;
+                    vector::probe_join(
+                        &ctx.options,
+                        ctx.gov,
+                        build,
+                        probe,
+                        &index,
+                        &build_pos,
+                        &probe_pos,
+                        &bound_residual,
+                        build_left,
+                        lcols.len(),
+                        &positions,
+                    )?
+                };
+                (Data::Batch(out), bytes)
+            }
+            // The mode is fixed per execution, so siblings always agree.
+            _ => {
+                return Err(AggViewError::Exec(
+                    "join inputs in mixed row/batch representations".into(),
+                ))
+            }
         };
         ctx.note_op_output(out_bytes);
         Ok((project.to_vec(), out))
@@ -407,10 +571,10 @@ impl<'a> Engine<'a> {
         spec: &GroupBySpec,
         project: &[Col],
         ctx: &mut ExecCtx<'_>,
-    ) -> Result<(Vec<Col>, Vec<Tuple>)> {
+    ) -> Result<(Vec<Col>, Data)> {
         ctx.gov.check_interrupt()?;
         maybe_fault(ctx.faults, "exec.groupby")?;
-        let (icols, irows) = self.exec(input, ctx)?;
+        let (icols, idata) = self.exec(input, ctx)?;
         let layout = layout_map(&icols);
 
         // Group-key positions.
@@ -451,8 +615,6 @@ impl<'a> Engine<'a> {
         // Accumulate (two-phase when parallel: per-worker tables, then a
         // coalescing merge).
         let funcs: Vec<AggFunc> = spec.aggs.iter().map(|a| a.func).collect();
-        let table =
-            parallel::accumulate_groups(&ctx.options, ctx.gov, &irows, &key_pos, &inputs, &funcs)?;
 
         // Finalize, apply HAVING, project.
         let mut out_cols: Vec<Col> = spec.group_cols.clone();
@@ -472,25 +634,74 @@ impl<'a> Engine<'a> {
             })
             .collect::<Result<_>>()?;
 
-        let mut out = Vec::with_capacity(table.len());
-        let mut out_bytes = 0usize;
-        for g in table.groups {
-            let mut values = g.key.into_values();
-            for s in &g.states {
-                values.push(s.finalize()?);
+        let in_pages = self.pages_of_data(&idata);
+        let (out_data, out_bytes) = match idata {
+            Data::Rows(irows) => {
+                let table = parallel::accumulate_groups(
+                    &ctx.options,
+                    ctx.gov,
+                    &irows,
+                    &key_pos,
+                    &inputs,
+                    &funcs,
+                )?;
+                let mut out = Vec::with_capacity(table.len());
+                let mut out_bytes = 0u64;
+                for g in table.groups {
+                    let mut values = g.key.into_values();
+                    for s in &g.states {
+                        values.push(s.finalize()?);
+                    }
+                    let full = Tuple::new(values);
+                    if eval_all(&bound_having, &full)? {
+                        let t = full.project(&positions);
+                        ctx.charge_tuple(&t)?;
+                        out_bytes += t.width() as u64;
+                        out.push(t);
+                    }
+                }
+                (Data::Rows(out), out_bytes)
             }
-            let full = Tuple::new(values);
-            if eval_all(&bound_having, &full)? {
-                let t = full.project(&positions);
-                ctx.charge_tuple(&t)?;
-                out_bytes += t.width();
-                out.push(t);
+            Data::Batch(ib) => {
+                let table = vector::accumulate_groups(
+                    &ctx.options,
+                    ctx.gov,
+                    &ib,
+                    &key_pos,
+                    &inputs,
+                    &funcs,
+                )?;
+                let ngroups = table.len();
+                let (keys, states, n_aggs) = table.into_key_columns();
+                // Finalize into aggregate columns, visiting states in the
+                // row path's group-major order so any finalize error is
+                // the same one it would surface.
+                let mut cols = keys;
+                cols.extend((0..n_aggs).map(|_| ColumnVec::Mixed(Vec::with_capacity(ngroups))));
+                let agg_base = cols.len() - n_aggs;
+                for g in 0..ngroups {
+                    for j in 0..n_aggs {
+                        let v = states[g * n_aggs + j].finalize()?;
+                        cols[agg_base + j].push_value(v);
+                    }
+                }
+                let full = Batch::from_parts(cols, ngroups);
+                let sel = vector::filter_tile(&bound_having, &full)?;
+                let mut out = Batch::from_parts(
+                    positions
+                        .iter()
+                        .map(|&p| full.col(p).empty_like())
+                        .collect(),
+                    0,
+                );
+                let bytes = out.gather_from(&full, &positions, sel.as_deref(), 0..ngroups);
+                ctx.gov.charge_output_bulk(out.len() as u64, bytes)?;
+                (Data::Batch(out), bytes)
             }
-        }
-        ctx.note_op_output(out_bytes as u64);
+        };
+        ctx.note_op_output(out_bytes);
 
         // Charge: group-by over the materialized input.
-        let in_pages = self.pages_of(&irows);
         let out_pages = self.model.page.pages_for_bytes(out_bytes as f64);
         let io = self.model.io;
         let (algo, charge) = match algo {
@@ -502,7 +713,7 @@ impl<'a> Engine<'a> {
             op: format!("groupby[{algo}] {}", spec.owner),
             pages: charge,
         });
-        Ok((project.to_vec(), out))
+        Ok((project.to_vec(), out_data))
     }
 
     fn exec_partial_group_by(
@@ -512,10 +723,10 @@ impl<'a> Engine<'a> {
         spec: &PartialGroupSpec,
         project: &[Col],
         ctx: &mut ExecCtx<'_>,
-    ) -> Result<(Vec<Col>, Vec<Tuple>)> {
+    ) -> Result<(Vec<Col>, Data)> {
         ctx.gov.check_interrupt()?;
         maybe_fault(ctx.faults, "exec.partial-groupby")?;
-        let (icols, irows) = self.exec(input, ctx)?;
+        let (icols, idata) = self.exec(input, ctx)?;
         let layout = layout_map(&icols);
         let key_pos: Vec<usize> = spec
             .group_cols
@@ -535,8 +746,6 @@ impl<'a> Engine<'a> {
             })
             .collect::<Result<_>>()?;
         let funcs: Vec<AggFunc> = spec.aggs.iter().map(|(_, a)| a.func).collect();
-        let table =
-            parallel::accumulate_groups(&ctx.options, ctx.gov, &irows, &key_pos, &inputs, &funcs)?;
 
         // Output layout: group cols then partial components per agg.
         let mut out_cols: Vec<Col> = spec.group_cols.clone();
@@ -550,23 +759,73 @@ impl<'a> Engine<'a> {
                 })
             })
             .collect::<Result<_>>()?;
-        let mut out = Vec::with_capacity(table.len());
-        let mut out_bytes = 0usize;
-        for g in table.groups {
-            let mut values = g.key.into_values();
-            for s in &g.states {
-                // Non-empty groups always have full component vectors.
-                values.extend(s.components().iter().cloned());
-            }
-            let full = Tuple::new(values);
-            let t = full.project(&positions);
-            ctx.charge_tuple(&t)?;
-            out_bytes += t.width();
-            out.push(t);
-        }
-        ctx.note_op_output(out_bytes as u64);
 
-        let in_pages = self.pages_of(&irows);
+        let in_pages = self.pages_of_data(&idata);
+        let (out_data, out_bytes) = match idata {
+            Data::Rows(irows) => {
+                let table = parallel::accumulate_groups(
+                    &ctx.options,
+                    ctx.gov,
+                    &irows,
+                    &key_pos,
+                    &inputs,
+                    &funcs,
+                )?;
+                let mut out = Vec::with_capacity(table.len());
+                let mut out_bytes = 0u64;
+                for g in table.groups {
+                    let mut values = g.key.into_values();
+                    for s in &g.states {
+                        // Non-empty groups always have full component vectors.
+                        values.extend(s.components().iter().cloned());
+                    }
+                    let full = Tuple::new(values);
+                    let t = full.project(&positions);
+                    ctx.charge_tuple(&t)?;
+                    out_bytes += t.width() as u64;
+                    out.push(t);
+                }
+                (Data::Rows(out), out_bytes)
+            }
+            Data::Batch(ib) => {
+                let table = vector::accumulate_groups(
+                    &ctx.options,
+                    ctx.gov,
+                    &ib,
+                    &key_pos,
+                    &inputs,
+                    &funcs,
+                )?;
+                let ngroups = table.len();
+                let (keys, states, n_aggs) = table.into_key_columns();
+                let n_comps: usize = funcs.iter().map(|f| f.partial_arity()).sum();
+                let mut cols = keys;
+                cols.extend((0..n_comps).map(|_| ColumnVec::Mixed(Vec::with_capacity(ngroups))));
+                let comp_base = cols.len() - n_comps;
+                for g in 0..ngroups {
+                    let mut cc = comp_base;
+                    for j in 0..n_aggs {
+                        for v in states[g * n_aggs + j].components() {
+                            cols[cc].push_value(v.clone());
+                            cc += 1;
+                        }
+                    }
+                }
+                let full = Batch::from_parts(cols, ngroups);
+                let mut out = Batch::from_parts(
+                    positions
+                        .iter()
+                        .map(|&p| full.col(p).empty_like())
+                        .collect(),
+                    0,
+                );
+                let bytes = out.gather_from(&full, &positions, None, 0..ngroups);
+                ctx.gov.charge_output_bulk(out.len() as u64, bytes)?;
+                (Data::Batch(out), bytes)
+            }
+        };
+        ctx.note_op_output(out_bytes);
+
         let out_pages = self.model.page.pages_for_bytes(out_bytes as f64);
         let io = self.model.io;
         let (algo, charge) = match algo {
@@ -578,12 +837,21 @@ impl<'a> Engine<'a> {
             op: format!("partial-groupby[{algo}]"),
             pages: charge,
         });
-        Ok((project.to_vec(), out))
+        Ok((project.to_vec(), out_data))
     }
 
     fn pages_of(&self, rows: &[Tuple]) -> f64 {
         let bytes: usize = rows.iter().map(Tuple::width).sum();
         self.model.page.pages_for_bytes(bytes as f64)
+    }
+
+    /// Mode-independent page count of an operator output (batch byte
+    /// totals equal the widths of the tuples they materialize to).
+    fn pages_of_data(&self, d: &Data) -> f64 {
+        match d {
+            Data::Rows(r) => self.pages_of(r),
+            Data::Batch(b) => self.model.page.pages_for_bytes(b.total_bytes() as f64),
+        }
     }
 }
 

@@ -38,8 +38,9 @@ pub mod engine;
 pub mod matview;
 pub mod parallel;
 pub mod partition;
+pub mod vector;
 pub mod verify;
 
 pub use engine::{Engine, IoBreakdown, ResultSet};
-pub use parallel::ExecOptions;
+pub use parallel::{ExecMode, ExecOptions};
 pub use verify::{assert_equivalent, canonical_rows};

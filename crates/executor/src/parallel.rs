@@ -24,10 +24,38 @@
 //! so there is exactly one implementation of each operator to test.
 
 use crate::partition::{chunk_ranges, AggInput, GroupTable, JoinIndex};
-use aggview_common::predicate::BoundPredicate;
+use aggview_common::predicate::{eval_conjunction_split, BoundPredicate};
 use aggview_common::{hash_key, keys_equal, AggFunc, AggViewError, PrehashedMap, Result, Tuple};
 use aggview_core::governor::ResourceGovernor;
 use std::ops::Range;
+
+/// Which operator implementation the engine runs.
+///
+/// Both modes produce byte-identical results (rows, IO pages, peak
+/// intermediate bytes) — `Row` is kept as the differential-testing
+/// reference and as an escape hatch, `Batch` is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Tuple-at-a-time operators over `Vec<Tuple>`.
+    Row,
+    /// Vectorized operators over column-major [`aggview_common::Batch`]es.
+    Batch,
+}
+
+impl ExecMode {
+    /// `AGGVIEW_EXEC_MODE` when set to `row` or `batch`; `Batch`
+    /// otherwise.
+    fn from_env() -> ExecMode {
+        match std::env::var("AGGVIEW_EXEC_MODE")
+            .ok()
+            .as_deref()
+            .map(str::trim)
+        {
+            Some("row") => ExecMode::Row,
+            _ => ExecMode::Batch,
+        }
+    }
+}
 
 /// Executor tuning knobs, threaded from the session/REPL into every
 /// operator.
@@ -43,11 +71,17 @@ pub struct ExecOptions {
     /// and small inputs are where float-merge order differences would be
     /// most visible relative to the data.
     pub parallel_threshold: usize,
+    /// Row vs. columnar operator implementations.
+    pub mode: ExecMode,
+    /// Rows per columnar tile in batch mode. Tiles are also the
+    /// granularity of cancellation checks and bulk governor charges on
+    /// the batch path.
+    pub batch_rows: usize,
 }
 
 impl Default for ExecOptions {
     /// `AGGVIEW_THREADS` when set (≥ 1), otherwise the host's available
-    /// parallelism.
+    /// parallelism. Execution mode honors `AGGVIEW_EXEC_MODE`.
     fn default() -> Self {
         let threads = std::env::var("AGGVIEW_THREADS")
             .ok()
@@ -60,19 +94,22 @@ impl Default for ExecOptions {
             });
         ExecOptions {
             threads,
-            morsel_rows: 1024,
-            parallel_threshold: 4096,
+            ..Self::serial()
         }
     }
 }
 
 impl ExecOptions {
-    /// Single-threaded options (independent of the environment).
+    /// Single-threaded options (thread count independent of the
+    /// environment; execution mode still honors `AGGVIEW_EXEC_MODE` so
+    /// the whole suite can be driven through either path).
     pub fn serial() -> Self {
         ExecOptions {
             threads: 1,
             morsel_rows: 1024,
             parallel_threshold: 4096,
+            mode: ExecMode::from_env(),
+            batch_rows: 1024,
         }
     }
 
@@ -96,7 +133,7 @@ impl ExecOptions {
 
 /// Run `work` over every chunk — inline when there is one chunk, on
 /// scoped worker threads otherwise. Results return in chunk order.
-fn run_chunks<T, F>(chunks: Vec<Range<usize>>, work: F) -> Result<Vec<T>>
+pub(crate) fn run_chunks<T, F>(chunks: Vec<Range<usize>>, work: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(Range<usize>) -> Result<T> + Sync,
@@ -309,8 +346,14 @@ pub fn probe_join(
                     continue;
                 }
                 if !residual.is_empty() {
-                    let combined = if build_left { b.concat(p) } else { p.concat(b) };
-                    if !crate::engine::eval_all(residual, &combined)? {
+                    // Evaluate against the virtual concatenation — no
+                    // combined tuple is ever materialized.
+                    let ok = if build_left {
+                        eval_conjunction_split(residual, b, p, b.arity())?
+                    } else {
+                        eval_conjunction_split(residual, p, b, p.arity())?
+                    };
+                    if !ok {
                         continue;
                     }
                 }
@@ -338,6 +381,7 @@ pub fn nested_loop_join(
     preds: &[BoundPredicate],
     positions: &[usize],
 ) -> Result<(Vec<Tuple>, u64)> {
+    let l_arity = lrows.first().map_or(0, Tuple::arity);
     let chunks = chunk_ranges(lrows.len(), opts.workers_for(lrows.len()));
     let parts = run_chunks(chunks, |range| {
         let mut out = Vec::new();
@@ -345,9 +389,19 @@ pub fn nested_loop_join(
         for_each_morsel(gov, range, opts.morsel_rows.max(1), |i| {
             let l = &lrows[i];
             for r in rrows {
-                let combined = l.concat(r);
-                if crate::engine::eval_all(preds, &combined)? {
-                    let t = combined.project(positions);
+                if eval_conjunction_split(preds, l, r, l_arity)? {
+                    // Emit straight from the two sides — the combined
+                    // tuple is never materialized.
+                    let t: Tuple = positions
+                        .iter()
+                        .map(|&p| {
+                            if p < l_arity {
+                                l.get(p).clone()
+                            } else {
+                                r.get(p - l_arity).clone()
+                            }
+                        })
+                        .collect();
                     let w = t.width() as u64;
                     gov.charge_output(1, w)?;
                     bytes += w;
@@ -403,6 +457,7 @@ mod tests {
             threads,
             morsel_rows: 64,
             parallel_threshold: 1, // force the parallel path on tiny inputs
+            ..ExecOptions::serial()
         }
     }
 

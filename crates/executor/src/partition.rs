@@ -138,6 +138,32 @@ impl AggInput {
             }
         }
     }
+
+    /// Absorb a row exposed through a position accessor instead of a
+    /// materialized [`Tuple`] — the batch path's equivalent of
+    /// [`absorb`](Self::absorb), with identical update semantics.
+    pub fn absorb_with(
+        &self,
+        state: &mut PartialAggState,
+        get: &impl Fn(usize) -> Value,
+    ) -> Result<()> {
+        match self {
+            AggInput::Raw(e) => {
+                let v = e.eval_with(get)?;
+                state.update(Some(&v))
+            }
+            AggInput::RawCountStar => state.update(None),
+            AggInput::Partial(comps) => {
+                debug_assert!(comps.len() <= 3);
+                let mut buf: [Value; 3] =
+                    [Value::Bool(false), Value::Bool(false), Value::Bool(false)];
+                for (k, &i) in comps.iter().enumerate() {
+                    buf[k] = get(i);
+                }
+                state.merge_components(&buf[..comps.len()])
+            }
+        }
+    }
 }
 
 /// One aggregation group: its key hash, the projected key tuple, and one

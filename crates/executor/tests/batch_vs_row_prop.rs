@@ -1,0 +1,175 @@
+//! Differential property test: the vectorized (batch) executor must be
+//! observationally identical to the row-at-a-time reference — the same
+//! rows in the same order with bitwise-equal values, the same IO-page
+//! charges, the same per-operator breakdown, and the same peak
+//! intermediate bytes — across serial and multi-threaded execution.
+//!
+//! Small, non-divisor `morsel_rows`/`batch_rows` force chunk and tile
+//! boundaries to fall mid-input so stitching order is exercised.
+
+use aggview_common::{AggFunc, AggRef, AggSpec, CmpOp, Col, Expr, Predicate, RelId, Value, ViewId};
+use aggview_core::cost::CostModel;
+use aggview_core::plan::{all_cols, GroupBySpec, PartialGroupSpec, Plan};
+use aggview_core::query::QueryEnv;
+use aggview_executor::{Engine, ExecMode, ExecOptions, ResultSet};
+use aggview_storage::datagen::{gen_random_catalog, RandomCatalogConfig};
+use aggview_storage::Catalog;
+use proptest::prelude::*;
+
+fn setup(seed: u64, max_rows: usize) -> (Catalog, QueryEnv) {
+    let cat = gen_random_catalog(&RandomCatalogConfig {
+        n_tables: 2,
+        rows: (1, max_rows),
+        join_domain: (1, 30),
+        seed,
+    })
+    .unwrap();
+    (cat, QueryEnv::new(vec!["t0".into(), "t1".into()]))
+}
+
+fn options(mode: ExecMode, threads: usize) -> ExecOptions {
+    ExecOptions {
+        threads,
+        morsel_rows: 16,
+        parallel_threshold: 1,
+        batch_rows: 7,
+        mode,
+    }
+}
+
+/// A randomized select-project-join(-group-by) plan. `shape` picks the
+/// operator mix, `cut` parameterizes the filter/having constants.
+fn random_plan(shape: usize, cut: i64) -> Plan {
+    let scan0 =
+        |filters: Vec<Predicate>| Plan::scan(RelId(0), "t0", filters, all_cols(RelId(0), 4));
+    let scan1 = Plan::scan(RelId(1), "t1", vec![], all_cols(RelId(1), 4));
+    let eq = Predicate::eq_cols(Col::base(RelId(0), 1), Col::base(RelId(1), 1));
+    let theta = Predicate::new(
+        Expr::col(Col::base(RelId(0), 2)),
+        CmpOp::Gt,
+        Expr::col(Col::base(RelId(1), 2)),
+    );
+    match shape % 5 {
+        // Filtered scan, mixing Int and Float constants over Int data.
+        0 => scan0(vec![
+            Predicate::cmp_const(Col::base(RelId(0), 1), CmpOp::Lt, Value::Int(cut)),
+            Predicate::cmp_const(
+                Col::base(RelId(0), 2),
+                CmpOp::Ge,
+                Value::Float(cut as f64 / 2.0),
+            ),
+        ]),
+        // Hash join with a residual theta predicate.
+        1 => Plan::join_all(scan0(vec![]), scan1, vec![eq, theta]),
+        // Pure theta join: the nested-loop kernel.
+        2 => Plan::join_all(scan0(vec![]), scan1, vec![theta]),
+        // Group-by over a join, with HAVING.
+        3 => Plan::group_by_all(
+            Plan::join_all(scan0(vec![]), scan1, vec![eq]),
+            GroupBySpec {
+                owner: ViewId::Top,
+                group_cols: vec![Col::base(RelId(0), 1)],
+                aggs: vec![
+                    AggSpec::count_star(),
+                    AggSpec::new(AggFunc::Avg, Expr::col(Col::base(RelId(0), 3))),
+                ],
+                having: vec![Predicate::new(
+                    Expr::col(Col::agg(ViewId::Top, 0)),
+                    CmpOp::Ge,
+                    Expr::val(Value::Int(cut.rem_euclid(8))),
+                )],
+            },
+        ),
+        // Partial aggregation below the join, coalesced above it.
+        _ => {
+            let aref = AggRef::new(ViewId::Top, 0);
+            let agg = AggSpec::new(AggFunc::Sum, Expr::col(Col::base(RelId(0), 3)));
+            Plan::group_by_all(
+                Plan::join_all(
+                    Plan::partial_group_by_all(
+                        scan0(vec![]),
+                        PartialGroupSpec {
+                            group_cols: vec![Col::base(RelId(0), 1)],
+                            aggs: vec![(aref, agg.clone())],
+                        },
+                    ),
+                    scan1,
+                    vec![eq],
+                ),
+                GroupBySpec {
+                    owner: ViewId::Top,
+                    group_cols: vec![Col::base(RelId(0), 1)],
+                    aggs: vec![agg],
+                    having: vec![],
+                },
+            )
+        }
+    }
+}
+
+/// Bitwise result identity: row order, value bits (Debug distinguishes
+/// -0.0 from 0.0 and every NaN payload the executor can produce), IO
+/// charges, breakdown, and the peak-intermediate high-water mark.
+fn assert_identical(row: &ResultSet, batch: &ResultSet) -> Result<(), String> {
+    if format!("{:?}", row.rows) != format!("{:?}", batch.rows) {
+        return Err(format!(
+            "rows diverge:\n  row:   {:?}\n  batch: {:?}",
+            row.rows, batch.rows
+        ));
+    }
+    if row.io_pages.to_bits() != batch.io_pages.to_bits() {
+        return Err(format!(
+            "io_pages diverge: {} vs {}",
+            row.io_pages, batch.io_pages
+        ));
+    }
+    if row.peak_intermediate_bytes != batch.peak_intermediate_bytes {
+        return Err(format!(
+            "peak bytes diverge: {} vs {}",
+            row.peak_intermediate_bytes, batch.peak_intermediate_bytes
+        ));
+    }
+    if row.breakdown.len() != batch.breakdown.len() {
+        return Err("breakdown length diverges".into());
+    }
+    for (a, b) in row.breakdown.iter().zip(&batch.breakdown) {
+        if a.op != b.op || a.pages.to_bits() != b.pages.to_bits() {
+            return Err(format!("breakdown diverges: {a:?} vs {b:?}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Row and batch execution agree bit-for-bit at 1 and 4 threads.
+    #[test]
+    fn batch_mode_is_byte_identical_to_row_mode(
+        seed in 0u64..5000,
+        rows in 1usize..250,
+        shape in 0usize..5,
+        cut in -5i64..35,
+    ) {
+        let (cat, env) = setup(seed, rows);
+        let plan = random_plan(shape, cut);
+        for threads in [1usize, 4] {
+            let row_engine = Engine::new(&cat, &env, CostModel::default())
+                .with_options(options(ExecMode::Row, threads));
+            let batch_engine = Engine::new(&cat, &env, CostModel::default())
+                .with_options(options(ExecMode::Batch, threads));
+            match (row_engine.execute(&plan), batch_engine.execute(&plan)) {
+                (Ok(r), Ok(b)) => {
+                    if let Err(e) = assert_identical(&r, &b) {
+                        prop_assert!(false, "threads={}: {}", threads, e);
+                    }
+                }
+                // Error *order* may differ between evaluation styles,
+                // but an erroring plan must error in both modes.
+                (Err(_), Err(_)) => {}
+                (Ok(_), Err(e)) => prop_assert!(false, "batch errored, row ok: {e}"),
+                (Err(e), Ok(_)) => prop_assert!(false, "row errored, batch ok: {e}"),
+            }
+        }
+    }
+}

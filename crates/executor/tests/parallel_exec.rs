@@ -36,6 +36,7 @@ fn par(threads: usize) -> ExecOptions {
         threads,
         morsel_rows: 32,
         parallel_threshold: 1,
+        ..ExecOptions::serial()
     }
 }
 

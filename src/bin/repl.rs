@@ -16,7 +16,8 @@
 //! `.gen star [customers]`, `.mem <pages>`, `.mode <traditional|pushdown|full>`,
 //! `.set <key> <value>` (resource governance: `timeout_ms`, `max_rows`,
 //! `max_bytes`, `max_plans`, `max_memo`, `retries`; `off` clears a limit;
-//! plus `threads` for the parallel executor), `.limits`,
+//! plus `threads`, `batch_rows` and `exec_mode <row|batch>` for the
+//! executor), `.limits`,
 //! `.bench [threads]` (executor scaling benchmark), `.explain <sql>`,
 //! `.open <dir>` (durable catalog: WAL + checkpoints), `.checkpoint`,
 //! `.quit`. Everything else is SQL (`;`-terminated, may span lines).
@@ -110,7 +111,10 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
                  .mode <traditional|pushdown|full>  optimizer configuration\n\
                  .set <key> <value|off>       resource limits: timeout_ms, max_rows,\n\
                  \u{20}                            max_bytes, max_plans, max_memo, retries;\n\
-                 \u{20}                            threads (parallel executor workers)\n\
+                 \u{20}                            threads (parallel executor workers);\n\
+                 \u{20}                            batch_rows (vectorized tile size);\n\
+                 \u{20}                            exec_mode <row|batch> (reference vs\n\
+                 \u{20}                            vectorized execution)\n\
                  .limits                      show current resource limits\n\
                  .bench [threads]             executor scaling benchmark (writes BENCH_exec.json)\n\
                  .views                       list materialized views (rows, bytes, staleness)\n\
@@ -305,7 +309,7 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
             let l = &session.limits;
             let show = |v: Option<u64>| v.map_or("off".to_string(), |n| n.to_string());
             println!(
-                "timeout_ms {}  max_rows {}  max_bytes {}  max_plans {}  max_memo {}  retries {}  threads {}",
+                "timeout_ms {}  max_rows {}  max_bytes {}  max_plans {}  max_memo {}  retries {}  threads {}  batch_rows {}  exec_mode {}",
                 l.timeout
                     .map_or("off".to_string(), |t| t.as_millis().to_string()),
                 show(l.max_rows),
@@ -313,7 +317,9 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
                 show(l.max_plans),
                 show(l.max_memo_entries),
                 session.max_retries,
-                session.exec.threads
+                session.exec.threads,
+                session.exec.batch_rows,
+                mode_name(session.exec.mode),
             );
         }
         ".bench" => {
@@ -365,7 +371,29 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
     true
 }
 
+fn mode_name(mode: aggview::executor::ExecMode) -> &'static str {
+    match mode {
+        aggview::executor::ExecMode::Row => "row",
+        aggview::executor::ExecMode::Batch => "batch",
+    }
+}
+
 fn set_limit(session: &mut Session, key: &str, val: &str) {
+    if key == "exec_mode" {
+        // Not a governor limit: `off` restores the environment default
+        // (AGGVIEW_EXEC_MODE, else batch).
+        session.exec.mode = match val {
+            "row" => aggview::executor::ExecMode::Row,
+            "batch" => aggview::executor::ExecMode::Batch,
+            _ if val.eq_ignore_ascii_case("off") => aggview::executor::ExecOptions::default().mode,
+            other => {
+                println!("`{other}` is not an exec mode — row | batch | off");
+                return;
+            }
+        };
+        println!("exec_mode = {}", mode_name(session.exec.mode));
+        return;
+    }
     let parsed: Option<u64> = if val.eq_ignore_ascii_case("off") {
         None
     } else {
@@ -386,6 +414,15 @@ fn set_limit(session: &mut Session, key: &str, val: &str) {
         println!("threads = {}", session.exec.threads);
         return;
     }
+    if key == "batch_rows" {
+        // Not a governor limit: `off` restores the default tile size.
+        session.exec.batch_rows = match parsed {
+            Some(n) => (n as usize).max(1),
+            None => aggview::executor::ExecOptions::default().batch_rows,
+        };
+        println!("batch_rows = {}", session.exec.batch_rows);
+        return;
+    }
     let l = &mut session.limits;
     match key {
         "timeout_ms" => l.timeout = parsed.map(Duration::from_millis),
@@ -398,7 +435,7 @@ fn set_limit(session: &mut Session, key: &str, val: &str) {
             None => session.max_retries = 0,
         },
         other => {
-            println!("unknown limit `{other}` — keys: timeout_ms max_rows max_bytes max_plans max_memo retries threads");
+            println!("unknown limit `{other}` — keys: timeout_ms max_rows max_bytes max_plans max_memo retries threads batch_rows exec_mode");
             return;
         }
     }

@@ -142,6 +142,7 @@ fn parallel_options(threads: usize) -> ExecOptions {
         threads,
         morsel_rows: 32,
         parallel_threshold: 1,
+        ..ExecOptions::serial()
     }
 }
 
