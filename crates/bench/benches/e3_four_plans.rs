@@ -88,7 +88,7 @@ fn shape_of(plan: &Plan) -> &'static str {
             }
             Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => find_gb(input),
             Plan::Join { left, right, .. } => find_gb(left).or_else(|| find_gb(right)),
-            Plan::Scan { .. } | Plan::ExtentScan { .. } => None,
+            Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => None,
         }
     }
     let Some(rels) = find_gb(plan) else {

@@ -169,6 +169,24 @@ pub struct SerialKernels {
     /// Row-path micro-kernels vs. the per-row-allocation variants they
     /// replaced.
     pub row_micro: Vec<KernelReport>,
+    /// Typed-column demotions to `ColumnVec::Mixed` observed across the
+    /// timed workloads and kernels. The corpus certifies Mixed-free, so
+    /// a non-zero count is a regression in the type lattice or the
+    /// vectorized kernels.
+    pub mixed_demotions: u64,
+}
+
+/// The dataflow static-analysis section: how many plans the pass
+/// covered and what it did with them.
+#[derive(Debug, Clone)]
+pub struct StaticAnalysisReport {
+    /// Plans run through the dataflow pass.
+    pub plans_analyzed: u64,
+    /// Provably-empty subtrees rewritten to `EmptyScan`.
+    pub empty_subtrees_pruned: u64,
+    /// Over-budget plans rejected before execution
+    /// (`plan-inadmissible`).
+    pub statically_rejected: u64,
 }
 
 /// Full benchmark output, serializable to `BENCH_exec.json`.
@@ -182,6 +200,7 @@ pub struct ExecBenchReport {
     pub serial_kernels: SerialKernels,
     pub matview: MatviewReport,
     pub durability: DurabilityReport,
+    pub static_analysis: StaticAnalysisReport,
     /// Plans run through the static integrity analyzer before execution.
     pub plans_checked: u64,
     /// Plans the analyzer accepted. The run aborts on the first
@@ -246,6 +265,7 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
     let mut workloads = Vec::new();
     let mut plans_checked = 0u64;
     let mut plans_passed = 0u64;
+    let demotions_before = aggview_common::mixed_demotions();
 
     // End-to-end paper workloads: optimize once, execute at both thread
     // counts.
@@ -446,10 +466,12 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
             predicate_eval_report(&emp_rows, repeats)?,
             probe_residual_report(&emp_rows, repeats)?,
         ],
+        mixed_demotions: aggview_common::mixed_demotions().saturating_sub(demotions_before),
     };
 
     let matview = matview_report(scale, repeats)?;
     let durability = durability_report(scale, repeats)?;
+    let static_analysis = static_analysis_report(&empdept, &star)?;
 
     Ok(ExecBenchReport {
         host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -460,8 +482,86 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
         serial_kernels,
         matview,
         durability,
+        static_analysis,
         plans_checked,
         plans_passed,
+    })
+}
+
+/// Exercise the dataflow pass end to end for the report: the timed
+/// workload plans must certify Mixed-free with no provably-empty
+/// subtrees, a contradictory filter must prune to a zero-IO
+/// `EmptyScan`, and an over-budget scan must be rejected before
+/// execution. Any deviation fails the bench run (and the CI
+/// bench-smoke job).
+fn static_analysis_report(empdept: &Catalog, star: &Catalog) -> Result<StaticAnalysisReport> {
+    use aggview_core::analyze::dataflow;
+    use aggview_core::governor::ResourceLimits;
+
+    let model = model_with_mem(64.0);
+    let full = OptimizerConfig::default();
+    let mut plans_analyzed = 0u64;
+    let mut empty_subtrees_pruned = 0u64;
+    let mut statically_rejected = 0u64;
+
+    for (q, cat) in [
+        (example1_query(), empdept),
+        (figure4_query(), empdept),
+        (count_per_customer(), star),
+    ] {
+        let plan = optimize(&q, cat, model, &full)?.plan;
+        let df = dataflow::analyze_plan(&plan, cat, Some(q.env.rel_tables.as_slice()));
+        plans_analyzed += 1;
+        if !df.mixed_free || df.provably_empty {
+            return Err(AggViewError::PlanInvalid(format!(
+                "bench corpus plan failed dataflow certification:\n{}",
+                plan.explain()
+            )));
+        }
+    }
+
+    let env = QueryEnv::new(vec!["emp".into()]);
+    let r = RelId(0);
+    let contradictory = Plan::scan(
+        r,
+        "emp",
+        vec![
+            Predicate::cmp_const(Col::base(r, emp::SAL), CmpOp::Gt, Value::Float(5.0)),
+            Predicate::cmp_const(Col::base(r, emp::SAL), CmpOp::Lt, Value::Float(3.0)),
+        ],
+        all_cols(r, 5),
+    );
+    let (pruned, n) =
+        dataflow::prune_empty(&contradictory, empdept, Some(env.rel_tables.as_slice()));
+    plans_analyzed += 1;
+    empty_subtrees_pruned += n as u64;
+    let engine = Engine::new(empdept, &env, model);
+    let rs = engine.execute(&pruned)?;
+    if n != 1 || !rs.rows.is_empty() || rs.io_pages != 0.0 {
+        return Err(AggViewError::PlanInvalid(
+            "contradictory plan was not pruned to a zero-IO EmptyScan".into(),
+        ));
+    }
+
+    let scan = Plan::scan(r, "emp", vec![], all_cols(r, 5));
+    plans_analyzed += 1;
+    let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_rows(1));
+    match engine.execute_governed(&scan, &gov, None) {
+        Err(e) if e.kind() == "plan-inadmissible" && gov.rows_used() == 0 => {
+            statically_rejected += 1;
+        }
+        Ok(_) => {
+            return Err(AggViewError::PlanInvalid(
+                "over-budget scan was admitted past the static gate".into(),
+            ))
+        }
+        Err(e) => return Err(e),
+    }
+
+    Ok(StaticAnalysisReport {
+        plans_analyzed,
+        empty_subtrees_pruned,
+        statically_rejected,
     })
 }
 
@@ -1305,8 +1405,19 @@ impl ExecBenchReport {
             ));
         }
         s.push_str("    ],\n");
-        push_kernel_list(&mut s, "row_micro", &self.serial_kernels.row_micro, false);
-        s.push_str("  }\n}\n");
+        push_kernel_list(&mut s, "row_micro", &self.serial_kernels.row_micro, true);
+        s.push_str(&format!(
+            "    \"mixed_demotions\": {}\n",
+            self.serial_kernels.mixed_demotions
+        ));
+        s.push_str("  },\n");
+        let sa = &self.static_analysis;
+        s.push_str(&format!(
+            "  \"static_analysis\": {{\"plans_analyzed\": {}, \
+             \"empty_subtrees_pruned\": {}, \"statically_rejected\": {}}}\n",
+            sa.plans_analyzed, sa.empty_subtrees_pruned, sa.statically_rejected,
+        ));
+        s.push_str("}\n");
         s
     }
 
@@ -1401,6 +1512,15 @@ impl ExecBenchReport {
             d.replay_rows_per_sec,
             d.checkpoint_ms,
             d.recover_after_checkpoint_ms
+        ));
+        let sa = &self.static_analysis;
+        s.push_str(&format!(
+            "static analysis: {} plans analyzed, {} empty subtree(s) pruned, \
+             {} plan(s) statically rejected, {} Mixed demotion(s)\n",
+            sa.plans_analyzed,
+            sa.empty_subtrees_pruned,
+            sa.statically_rejected,
+            self.serial_kernels.mixed_demotions
         ));
         s
     }
@@ -1533,6 +1653,14 @@ mod tests {
         }
         assert_eq!(report.plans_checked, 6, "every workload plan analyzed");
         assert_eq!(report.plans_passed, 6, "every workload plan accepted");
+        assert_eq!(
+            report.serial_kernels.mixed_demotions, 0,
+            "certified workloads must execute without Mixed demotions"
+        );
+        let sa = &report.static_analysis;
+        assert_eq!(sa.plans_analyzed, 5);
+        assert_eq!(sa.empty_subtrees_pruned, 1);
+        assert_eq!(sa.statically_rejected, 1);
         assert!(report.matview.speedup > 0.0);
         assert!(
             report.matview.incremental_matches_refresh,
@@ -1553,6 +1681,11 @@ mod tests {
         assert!(json.contains("\"clone_key\""));
         assert!(json.contains("\"batch_vs_row\""));
         assert!(json.contains("\"row_micro\""));
+        assert!(json.contains("\"mixed_demotions\": 0"));
+        assert!(json.contains("\"static_analysis\""));
+        assert!(json.contains("\"plans_analyzed\": 5"));
+        assert!(json.contains("\"empty_subtrees_pruned\": 1"));
+        assert!(json.contains("\"statically_rejected\": 1"));
         // Trailing-comma-free JSON: no ",\n<indent>]" sequences.
         assert!(!json.contains(",\n  ]"));
         assert!(!json.contains(",\n    ]"));

@@ -16,7 +16,24 @@ use crate::hash::{fx_mix, fx_str, fx_value};
 use crate::tuple::Tuple;
 use crate::value::{DataType, Value};
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide count of typed→Mixed column demotions.
+///
+/// A demotion is silent at the call site ([`ColumnVec::push_value`] and
+/// [`ColumnVec::from_tuples_col`] just keep going), so this counter is
+/// the only way to observe that a column the planner certified as typed
+/// actually fell back to the `Value`-enum representation at runtime.
+/// The executor snapshots it around each query to attribute demotions
+/// per execution; under concurrent queries the attribution is
+/// best-effort (the count itself never under-reports).
+static MIXED_DEMOTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotone process-wide demotion count (see [`ColumnVec::Mixed`]).
+pub fn mixed_demotions() -> u64 {
+    MIXED_DEMOTIONS.load(Ordering::Relaxed)
+}
 
 /// One column of a batch, stored as a typed vector when possible.
 #[derive(Debug, Clone)]
@@ -157,6 +174,7 @@ impl ColumnVec {
         if matches!(self, ColumnVec::Mixed(_)) {
             return;
         }
+        MIXED_DEMOTIONS.fetch_add(1, Ordering::Relaxed);
         let vals: Vec<Value> = (0..self.len()).map(|i| self.value_at(i)).collect();
         *self = ColumnVec::Mixed(vals);
     }
@@ -356,6 +374,20 @@ mod tests {
         assert_eq!(c.len(), 3);
         assert_eq!(c.value_at(0), Value::Int(1));
         assert_eq!(c.value_at(2), Value::str("oops"));
+    }
+
+    #[test]
+    fn demotions_bump_the_process_counter() {
+        let before = mixed_demotions();
+        let mut c = ColumnVec::with_type(DataType::Int);
+        c.push_value(Value::Int(1));
+        c.push_value(Value::str("oops"));
+        // Other tests may demote concurrently; the counter only grows.
+        assert!(mixed_demotions() > before);
+        // Already-Mixed columns never re-count.
+        let mid = mixed_demotions();
+        c.push_value(Value::Bool(true));
+        assert_eq!(mixed_demotions(), mid);
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub enum AggViewError {
     /// merge stage), or an inconsistent cost annotation. Raised by the
     /// pre-execution gate.
     PlanInvalid(String),
+    /// A structurally valid plan was rejected by static admission
+    /// control before execution: the dataflow pass derived a guaranteed
+    /// lower bound on its resource use that already exceeds the
+    /// governor's budget, so running it could only end in
+    /// [`AggViewError::ResourceExhausted`] after wasted work. Never
+    /// retryable — the bound is deterministic.
+    PlanInadmissible(String),
     /// Runtime evaluation failure (division by zero, type error at
     /// evaluation time, ...).
     Exec(String),
@@ -76,6 +83,7 @@ impl AggViewError {
             AggViewError::Catalog(_) => "catalog",
             AggViewError::Plan(_) => "plan",
             AggViewError::PlanInvalid(_) => "plan-invalid",
+            AggViewError::PlanInadmissible(_) => "plan-inadmissible",
             AggViewError::Exec(_) => "exec",
             AggViewError::Optimize(_) => "optimize",
             AggViewError::Cancelled(_) => "cancelled",
@@ -109,6 +117,7 @@ impl AggViewError {
             AggViewError::Catalog(m) => AggViewError::Catalog(f(m)),
             AggViewError::Plan(m) => AggViewError::Plan(f(m)),
             AggViewError::PlanInvalid(m) => AggViewError::PlanInvalid(f(m)),
+            AggViewError::PlanInadmissible(m) => AggViewError::PlanInadmissible(f(m)),
             AggViewError::Exec(m) => AggViewError::Exec(f(m)),
             AggViewError::Optimize(m) => AggViewError::Optimize(f(m)),
             AggViewError::Cancelled(m) => AggViewError::Cancelled(f(m)),
@@ -136,6 +145,7 @@ impl AggViewError {
             | AggViewError::Catalog(m)
             | AggViewError::Plan(m)
             | AggViewError::PlanInvalid(m)
+            | AggViewError::PlanInadmissible(m)
             | AggViewError::Exec(m)
             | AggViewError::Optimize(m)
             | AggViewError::Cancelled(m)
@@ -184,6 +194,7 @@ mod tests {
             AggViewError::Catalog(String::new()),
             AggViewError::Plan(String::new()),
             AggViewError::PlanInvalid(String::new()),
+            AggViewError::PlanInadmissible(String::new()),
             AggViewError::Exec(String::new()),
             AggViewError::Optimize(String::new()),
             AggViewError::Cancelled(String::new()),
@@ -210,6 +221,7 @@ mod tests {
             AggViewError::Parse(String::new()),
             AggViewError::Exec(String::new()),
             AggViewError::PlanInvalid(String::new()),
+            AggViewError::PlanInadmissible(String::new()),
             AggViewError::Cancelled(String::new()),
             AggViewError::ResourceExhausted(String::new()),
             AggViewError::Corrupt {

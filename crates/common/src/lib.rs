@@ -38,7 +38,7 @@ pub mod value;
 
 pub use agg::{AggAccumulator, AggFunc, AggSpec, PartialAggState};
 pub use batch::Batch;
-pub use column::ColumnVec;
+pub use column::{mixed_demotions, ColumnVec};
 pub use error::{AggViewError, Result};
 pub use expr::{BinaryOp, Expr};
 pub use fault::{

@@ -46,7 +46,7 @@ fn props_checked(
     out: &mut Vec<Violation>,
 ) -> Option<PlanProps> {
     let children: Vec<PlanProps> = match plan {
-        Plan::Scan { .. } | Plan::ExtentScan { .. } => Vec::new(),
+        Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => Vec::new(),
         Plan::Join { left, right, .. } => {
             let l = props_checked(left, est, catalog, out);
             let r = props_checked(right, est, catalog, out);
@@ -121,6 +121,17 @@ fn props_checked(
                         ),
                     );
                 }
+            }
+        }
+        Plan::EmptyScan { .. } => {
+            if props.card > EPS {
+                push(
+                    out,
+                    format!(
+                        "empty scan estimates {:.1} rows but provably produces none",
+                        props.card
+                    ),
+                );
             }
         }
         Plan::Join { .. } => {

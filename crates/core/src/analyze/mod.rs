@@ -27,6 +27,7 @@
 //! `.lint` command and `EXPLAIN VERIFY <select>`.
 
 pub mod cost;
+pub mod dataflow;
 pub mod mutate;
 pub mod rules;
 pub mod schema;
@@ -38,50 +39,149 @@ use aggview_common::{AggViewError, Result};
 use aggview_storage::Catalog;
 use std::fmt;
 
-/// One analyzer finding: which rule fired and why.
+/// How serious a finding is.
+///
+/// **Errors** are integrity defects: the plan would compute wrong
+/// results or crash, so the pre-execution gate rejects it. **Warnings**
+/// are correct-but-suboptimal facts the dataflow pass surfaces (a
+/// provably-empty subtree the optimizer did not prune, a plan that
+/// cannot be certified Mixed-free); the plan still executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Rejecting: the plan must not execute.
+    Error,
+    /// Advisory: the plan executes, but something is off.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// Stable diagnostic code for a rule, for scripts and tests that must
+/// not depend on message text.
+pub fn code_for(rule: &str) -> &'static str {
+    match rule {
+        "schema" => "AV001",
+        "pull-up-key" => "AV002",
+        "invariant-grouping" => "AV003",
+        "coalescing-merge" => "AV004",
+        "matview-extent" => "AV005",
+        "degraded-shape" => "AV006",
+        "cost-sanity" => "AV007",
+        "dataflow-domain" => "DF001",
+        "dataflow-type" => "DF002",
+        "dataflow-bounds" => "DF003",
+        _ => "AV000",
+    }
+}
+
+/// One analyzer finding: which rule fired, where, and why.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Stable rule identifier (`schema`, `pull-up-key`,
     /// `invariant-grouping`, `coalescing-merge`, `matview-extent`,
-    /// `degraded-shape`, `cost-sanity`).
+    /// `degraded-shape`, `cost-sanity`, `dataflow-domain`,
+    /// `dataflow-type`, `dataflow-bounds`).
     pub rule: &'static str,
+    /// Stable diagnostic code (`AV001`…, `DF001`…), derived from the
+    /// rule.
+    pub code: &'static str,
+    /// Whether the finding rejects the plan or merely flags it.
+    pub severity: Severity,
+    /// Dotted path of the offending operator within the plan tree
+    /// (`root`, `root.l.in`, …); empty when the finding is global.
+    pub path: String,
     /// Human-readable description of the violated invariant.
     pub message: String,
 }
 
 impl Violation {
     pub(crate) fn new(rule: &'static str, message: String) -> Violation {
-        Violation { rule, message }
+        Violation {
+            rule,
+            code: code_for(rule),
+            severity: Severity::Error,
+            path: String::new(),
+            message,
+        }
+    }
+
+    /// An advisory finding anchored at a plan path.
+    pub(crate) fn warn(rule: &'static str, path: String, message: String) -> Violation {
+        Violation {
+            rule,
+            code: code_for(rule),
+            severity: Severity::Warning,
+            path,
+            message,
+        }
+    }
+
+    /// An error finding anchored at a plan path.
+    pub(crate) fn error_at(rule: &'static str, path: String, message: String) -> Violation {
+        Violation {
+            rule,
+            code: code_for(rule),
+            severity: Severity::Error,
+            path,
+            message,
+        }
     }
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}", self.rule, self.message)
+        write!(f, "{} {} [{}]", self.code, self.severity, self.rule)?;
+        if !self.path.is_empty() {
+            write!(f, " at {}", self.path)?;
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
 /// The outcome of analyzing one plan.
 #[derive(Debug, Clone, Default)]
 pub struct AnalysisReport {
-    /// Every violated invariant, in discovery order.
+    /// Every finding, in discovery order.
     pub violations: Vec<Violation>,
 }
 
 impl AnalysisReport {
-    /// True when no invariant was violated.
+    /// True when no *error*-severity invariant was violated (warnings
+    /// are advisory and do not reject the plan).
     pub fn is_ok(&self) -> bool {
+        !self
+            .violations
+            .iter()
+            .any(|v| v.severity == Severity::Error)
+    }
+
+    /// True when there are no findings at all, warnings included.
+    pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
 
-    /// Collapse the report into a single error message.
+    /// The findings sorted by severity (errors first), then by code.
+    pub fn sorted(&self) -> Vec<&Violation> {
+        let mut v: Vec<&Violation> = self.violations.iter().collect();
+        v.sort_by_key(|v| (v.severity, v.code, v.path.clone()));
+        v
+    }
+
+    /// Collapse the report into a single error message (errors first).
     pub fn summary(&self) -> String {
-        if self.is_ok() {
+        if self.is_clean() {
             return "plan passes all integrity checks".into();
         }
-        let msgs: Vec<String> = self.violations.iter().map(|v| v.to_string()).collect();
+        let msgs: Vec<String> = self.sorted().iter().map(|v| v.to_string()).collect();
         format!(
-            "{} integrity violation(s): {}",
+            "{} integrity finding(s): {}",
             self.violations.len(),
             msgs.join("; ")
         )
@@ -90,10 +190,10 @@ impl AnalysisReport {
 
 impl fmt::Display for AnalysisReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_ok() {
+        if self.is_clean() {
             return f.write_str("plan passes all integrity checks");
         }
-        for v in &self.violations {
+        for v in self.sorted() {
             writeln!(f, "{v}")?;
         }
         Ok(())
@@ -168,6 +268,12 @@ impl<'a> PlanAnalyzer<'a> {
         if let (Some(model), Some(env)) = (self.model, self.env) {
             cost::check(plan, model, self.catalog, env, &mut violations);
         }
+        dataflow::check(
+            plan,
+            self.catalog,
+            self.env.map(|e| e.rel_tables.as_slice()),
+            &mut violations,
+        );
         AnalysisReport { violations }
     }
 

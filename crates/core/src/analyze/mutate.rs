@@ -10,7 +10,7 @@
 //! corpus spans several plan shapes to exercise every kind.
 
 use crate::plan::Plan;
-use aggview_common::{AggFunc, CmpOp, Col, Expr, Predicate, RelId, Value};
+use aggview_common::{AggFunc, CmpOp, Col, DataType, Expr, Predicate, RelId, Value};
 
 /// A deliberately corrupted plan the analyzer must reject.
 #[derive(Debug, Clone)]
@@ -50,6 +50,27 @@ pub fn mutants(plan: &Plan) -> Vec<Mutant> {
         .collect()
 }
 
+/// Every applicable dataflow-specific mutation of `plan`: corruptions
+/// only the [`dataflow`](super::dataflow) pass can see. Kept separate
+/// from [`mutants`] because the contradictory-filter mutant produces a
+/// *warning* (the plan still computes correct results, just wastefully)
+/// rather than a rejection, and the `EmptyScan` lies need a plan shape
+/// the optimizer only emits after pruning.
+pub fn dataflow_mutants(plan: &Plan) -> Vec<Mutant> {
+    let kinds: [(&'static str, Mutation); 3] = [
+        ("contradictory-filter", contradictory_filter),
+        ("empty-scan-type-lie", empty_scan_type_lie),
+        ("empty-scan-phantom-cover", empty_scan_phantom_cover),
+    ];
+    kinds
+        .into_iter()
+        .filter_map(|(name, f)| {
+            let mut f = f;
+            map_first(plan, &mut f).map(|plan| Mutant { name, plan })
+        })
+        .collect()
+}
+
 /// Rebuild the tree with the first node (pre-order) for which `f`
 /// returns a replacement swapped in; `None` when no node matched.
 fn map_first(plan: &Plan, f: &mut impl FnMut(&Plan) -> Option<Plan>) -> Option<Plan> {
@@ -57,7 +78,7 @@ fn map_first(plan: &Plan, f: &mut impl FnMut(&Plan) -> Option<Plan>) -> Option<P
         return Some(p);
     }
     match plan {
-        Plan::Scan { .. } | Plan::ExtentScan { .. } => None,
+        Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => None,
         Plan::Join {
             algo,
             left,
@@ -418,6 +439,83 @@ fn nonlocal_scan_filter(node: &Plan) -> Option<Plan> {
         table: table.clone(),
         filters,
         project: project.clone(),
+    })
+}
+
+/// Add a constant-false filter to a scan. The subtree becomes provably
+/// empty — still *correct*, so the dataflow pass reports it as a
+/// `dataflow-domain` warning (an unpruned empty subtree), not an error.
+/// Constants keep the mutation schema-safe on any table.
+fn contradictory_filter(node: &Plan) -> Option<Plan> {
+    let Plan::Scan {
+        rel,
+        table,
+        filters,
+        project,
+    } = node
+    else {
+        return None;
+    };
+    let mut filters = filters.clone();
+    filters.push(Predicate::new(
+        Expr::val(Value::Int(1)),
+        CmpOp::Gt,
+        Expr::val(Value::Int(2)),
+    ));
+    Some(Plan::Scan {
+        rel: *rel,
+        table: table.clone(),
+        filters,
+        project: project.clone(),
+    })
+}
+
+/// Flip one declared output type of an `EmptyScan`: the recorded schema
+/// no longer matches the catalog's, which the executor's batch path
+/// would silently absorb as a Mixed demotion — a `dataflow-type` error.
+fn empty_scan_type_lie(node: &Plan) -> Option<Plan> {
+    let Plan::EmptyScan {
+        covers,
+        project,
+        types,
+        reason,
+    } = node
+    else {
+        return None;
+    };
+    let mut types = types.clone();
+    let first = types.first_mut()?;
+    *first = match first {
+        DataType::Int => DataType::Str,
+        _ => DataType::Int,
+    };
+    Some(Plan::EmptyScan {
+        covers: covers.clone(),
+        project: project.clone(),
+        types,
+        reason: reason.clone(),
+    })
+}
+
+/// Claim an `EmptyScan` covers a relation the query never declared: the
+/// pruning provenance is unaccountable — a `dataflow-bounds` error.
+fn empty_scan_phantom_cover(node: &Plan) -> Option<Plan> {
+    let Plan::EmptyScan {
+        covers,
+        project,
+        types,
+        reason,
+    } = node
+    else {
+        return None;
+    };
+    let mut covers = covers.clone();
+    covers.push(RelId(63));
+    Some(Plan::EmptyScan {
+        covers,
+        project: project.clone(),
+        types: types.clone(),
+        reason: reason.clone(),
     })
 }
 

@@ -153,7 +153,7 @@ fn exposes_top_group(plan: &Plan) -> bool {
     match plan {
         // An extent scan exposes finalized *view* aggregates; the top
         // group-by (when matched at all) sits above it as compensation.
-        Plan::Scan { .. } | Plan::ExtentScan { .. } => false,
+        Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => false,
         Plan::Join { left, right, .. } => exposes_top_group(left) || exposes_top_group(right),
         Plan::GroupBy { spec, .. } => spec.owner == ViewId::Top,
         Plan::PartialGroupBy { input, .. } => exposes_top_group(input),
@@ -174,7 +174,7 @@ pub(crate) fn check_coalescing(plan: &Plan, out: &mut Vec<Violation>) {
 
 fn coalescing_walk<'p>(plan: &'p Plan, nearest: Option<&'p GroupBySpec>, out: &mut Vec<Violation>) {
     match plan {
-        Plan::Scan { .. } => {}
+        Plan::Scan { .. } | Plan::EmptyScan { .. } => {}
         Plan::ExtentScan { outputs, .. } => {
             // Stored partial states must be coalesced by a group-by above,
             // exactly like the output of a partial group-by.
@@ -392,7 +392,7 @@ pub(crate) fn check_degraded_shape(plan: &Plan, query: &CanonicalQuery, out: &mu
 fn walk<'p>(plan: &'p Plan, f: &mut impl FnMut(&'p Plan)) {
     f(plan);
     match plan {
-        Plan::Scan { .. } | Plan::ExtentScan { .. } => {}
+        Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => {}
         Plan::Join { left, right, .. } => {
             walk(left, f);
             walk(right, f);
@@ -421,7 +421,7 @@ impl EquivClasses {
             let preds = match node {
                 Plan::Scan { filters, .. } | Plan::ExtentScan { filters, .. } => filters.as_slice(),
                 Plan::Join { preds, .. } => preds.as_slice(),
-                Plan::GroupBy { .. } | Plan::PartialGroupBy { .. } => &[],
+                Plan::GroupBy { .. } | Plan::PartialGroupBy { .. } | Plan::EmptyScan { .. } => &[],
             };
             for p in preds {
                 if let Some(pair) = p.as_col_eq_col() {

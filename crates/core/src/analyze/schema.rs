@@ -41,6 +41,26 @@ fn typed_cols(
     out: &mut Vec<Violation>,
 ) -> Option<TypeMap> {
     match plan {
+        Plan::EmptyScan { project, types, .. } => {
+            // The pruned subtree's layout was recorded at rewrite time;
+            // the dataflow pass cross-checks it against the catalog.
+            let mut map = TypeMap::new();
+            for (c, ty) in project.iter().zip(types) {
+                map.insert(*c, *ty);
+            }
+            if types.len() != project.len() {
+                push(
+                    out,
+                    format!(
+                        "empty scan records {} types for {} projected columns",
+                        types.len(),
+                        project.len()
+                    ),
+                );
+                return None;
+            }
+            Some(map)
+        }
         Plan::Scan {
             rel,
             table,

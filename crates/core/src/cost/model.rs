@@ -149,6 +149,18 @@ impl<'a> CardEstimator<'a> {
     /// the cheapest applicable algorithm (what the executor will pick).
     pub fn cost_plan(&self, plan: &Plan) -> Result<PlanProps> {
         match plan {
+            Plan::EmptyScan { project, types, .. } => {
+                // Produces nothing and reads nothing. Distincts floor at
+                // 1.0 like every other estimate so selectivity math above
+                // an empty input stays finite.
+                let width: f64 = types.iter().map(|t| t.default_width() as f64).sum();
+                Ok(PlanProps {
+                    cost: 0.0,
+                    card: 0.0,
+                    width,
+                    distinct: project.iter().map(|c| (*c, 1.0)).collect(),
+                })
+            }
             Plan::Scan {
                 rel,
                 table,

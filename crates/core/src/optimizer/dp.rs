@@ -387,7 +387,7 @@ mod tests {
                 Plan::Join {
                     left, right, preds, ..
                 } => !preds.is_empty() && no_cross(left) && no_cross(right),
-                Plan::Scan { .. } | Plan::ExtentScan { .. } => true,
+                Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => true,
                 Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => no_cross(input),
             }
         }

@@ -272,6 +272,20 @@ fn optimize_inner(
             }
         }
     }
+    // Post-pass: rewrite a provably-empty plan (contradictory
+    // predicates found by the dataflow pass) to an `EmptyScan` so the
+    // executor never scans for rows that cannot exist.
+    let (pruned, n_pruned) = crate::analyze::dataflow::prune_empty(
+        &out.plan,
+        catalog,
+        Some(query.env.rel_tables.as_slice()),
+    );
+    if n_pruned > 0 && pruned.validate(catalog, &query.env.rel_tables).is_ok() {
+        if let Ok(props) = est.cost_plan(&pruned) {
+            out.plan = pruned;
+            out.props = props;
+        }
+    }
     out.stats = stats;
     // Debug-mode post-condition: every plan the optimizer hands out
     // satisfies the static integrity invariants.

@@ -15,7 +15,7 @@
 //! group-by that computes the aggregate.
 
 use aggview_common::{
-    AggRef, AggSpec, AggViewError, Col, ColRef, Predicate, RelId, Result, ViewId,
+    AggRef, AggSpec, AggViewError, Col, ColRef, DataType, Predicate, RelId, Result, ViewId,
 };
 use aggview_storage::Catalog;
 use std::collections::BTreeSet;
@@ -208,6 +208,21 @@ pub enum Plan {
         /// Output columns (subset of `outputs`).
         project: Vec<Col>,
     },
+    /// A subtree the dataflow pass proved empty (a contradictory
+    /// predicate set). Leaf node: produces zero rows of the recorded
+    /// layout without touching storage. The covered relation instances
+    /// are kept so relation-set bookkeeping (join disjointness,
+    /// degraded-shape checks) still holds after the rewrite.
+    EmptyScan {
+        /// Base relation instances the pruned subtree covered.
+        covers: Vec<RelId>,
+        /// Output columns.
+        project: Vec<Col>,
+        /// Static type of each output column, parallel to `project`.
+        types: Vec<DataType>,
+        /// The contradiction that proved the subtree empty.
+        reason: String,
+    },
 }
 
 impl Plan {
@@ -300,6 +315,21 @@ impl Plan {
         }
     }
 
+    /// A provably-empty subtree replacement with an explicit layout.
+    pub fn empty_scan(
+        covers: Vec<RelId>,
+        project: Vec<Col>,
+        types: Vec<DataType>,
+        reason: impl Into<String>,
+    ) -> Plan {
+        Plan::EmptyScan {
+            covers,
+            project,
+            types,
+            reason: reason.into(),
+        }
+    }
+
     /// This node's output layout.
     pub fn output_cols(&self) -> &[Col] {
         match self {
@@ -307,7 +337,8 @@ impl Plan {
             | Plan::Join { project, .. }
             | Plan::GroupBy { project, .. }
             | Plan::PartialGroupBy { project, .. }
-            | Plan::ExtentScan { project, .. } => project,
+            | Plan::ExtentScan { project, .. }
+            | Plan::EmptyScan { project, .. } => project,
         }
     }
 
@@ -320,6 +351,23 @@ impl Plan {
             | Plan::GroupBy { project, .. }
             | Plan::PartialGroupBy { project, .. }
             | Plan::ExtentScan { project, .. } => *project = new_project,
+            Plan::EmptyScan { project, types, .. } => {
+                // Keep the recorded types parallel to the projection.
+                // Unknown columns get a placeholder; validation rejects
+                // them before anything downstream reads the type.
+                let old: Vec<(Col, DataType)> =
+                    project.iter().copied().zip(types.iter().copied()).collect();
+                *types = new_project
+                    .iter()
+                    .map(|c| {
+                        old.iter()
+                            .find(|(o, _)| o == c)
+                            .map(|&(_, t)| t)
+                            .unwrap_or(DataType::Int)
+                    })
+                    .collect();
+                *project = new_project;
+            }
         }
         self
     }
@@ -330,7 +378,9 @@ impl Plan {
             Plan::Scan { rel, .. } => rel.bit(),
             Plan::Join { left, right, .. } => left.rel_set() | right.rel_set(),
             Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => input.rel_set(),
-            Plan::ExtentScan { covers, .. } => covers.iter().fold(0, |s, r| s | r.bit()),
+            Plan::ExtentScan { covers, .. } | Plan::EmptyScan { covers, .. } => {
+                covers.iter().fold(0, |s, r| s | r.bit())
+            }
         }
     }
 
@@ -343,7 +393,7 @@ impl Plan {
     /// Number of group-by operators (full or partial) in the tree.
     pub fn group_by_count(&self) -> usize {
         match self {
-            Plan::Scan { .. } | Plan::ExtentScan { .. } => 0,
+            Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => 0,
             Plan::Join { left, right, .. } => left.group_by_count() + right.group_by_count(),
             Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => {
                 1 + input.group_by_count()
@@ -354,7 +404,7 @@ impl Plan {
     /// Number of join operators in the tree.
     pub fn join_count(&self) -> usize {
         match self {
-            Plan::Scan { .. } | Plan::ExtentScan { .. } => 0,
+            Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => 0,
             Plan::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
             Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => input.join_count(),
         }
@@ -585,6 +635,29 @@ impl Plan {
                 }
                 Ok(out)
             }
+            Plan::EmptyScan {
+                covers,
+                project,
+                types,
+                ..
+            } => {
+                if covers.is_empty() {
+                    return Err(AggViewError::Plan("empty scan covers no relations".into()));
+                }
+                if let Some(r) = covers.iter().find(|r| r.idx() >= rel_tables.len()) {
+                    return Err(AggViewError::Plan(format!(
+                        "empty scan covers undeclared relation {r}"
+                    )));
+                }
+                if types.len() != project.len() {
+                    return Err(AggViewError::Plan(format!(
+                        "empty scan records {} types for {} output columns",
+                        types.len(),
+                        project.len()
+                    )));
+                }
+                Ok(project.iter().copied().collect())
+            }
         }
     }
 
@@ -679,6 +752,10 @@ impl Plan {
                     let _ = write!(out, " filter [{}]", fs.join(" AND "));
                 }
                 let _ = writeln!(out);
+            }
+            Plan::EmptyScan { covers, reason, .. } => {
+                let rs: Vec<String> = covers.iter().map(|r| r.to_string()).collect();
+                let _ = writeln!(out, "{pad}EmptyScan covers [{}] ({reason})", rs.join(", "));
             }
         }
     }

@@ -98,7 +98,7 @@ pub fn combine_groupbys(plan: &Plan) -> Option<Plan> {
 /// fixpoint.
 pub fn combine_all(plan: &Plan) -> Plan {
     let rebuilt = match plan {
-        Plan::Scan { .. } | Plan::ExtentScan { .. } => plan.clone(),
+        Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => plan.clone(),
         Plan::Join {
             algo,
             left,

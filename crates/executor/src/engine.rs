@@ -22,6 +22,7 @@ use aggview_common::fault::{maybe_fault, FaultInjector};
 use aggview_common::{
     AggFunc, AggViewError, Batch, Col, ColumnVec, DataType, Predicate, RelId, Result, Tuple,
 };
+use aggview_core::analyze::dataflow;
 use aggview_core::cost::ops::{self, JoinSides};
 use aggview_core::cost::CostModel;
 use aggview_core::governor::ResourceGovernor;
@@ -53,6 +54,12 @@ pub struct ResultSet {
     /// Largest materialized operator output, in bytes — the memory
     /// high-water mark the paper's transformations try to shrink.
     pub peak_intermediate_bytes: u64,
+    /// Typed→Mixed column demotions observed during this execution.
+    /// Zero for any plan the dataflow pass certifies Mixed-free; a
+    /// non-zero count means a column the planner typed fell back to the
+    /// `Value`-enum representation (attribution is best-effort when
+    /// queries run concurrently in one process).
+    pub mixed_demotions: u64,
 }
 
 impl ResultSet {
@@ -180,7 +187,12 @@ impl<'a> Engine<'a> {
     /// Before any work starts, the plan must pass the static
     /// [`aggview_core::PlanAnalyzer`] integrity gate; a defective plan
     /// is rejected with [`AggViewError::PlanInvalid`] instead of being
-    /// executed.
+    /// executed. When the governor carries a row or byte budget, the
+    /// dataflow pass then derives guaranteed lower bounds on the plan's
+    /// materialized output; a plan whose *floor* already exceeds a
+    /// budget can only end in [`AggViewError::ResourceExhausted`] after
+    /// wasted work, so it is rejected up front with
+    /// [`AggViewError::PlanInadmissible`].
     pub fn execute_governed(
         &self,
         plan: &Plan,
@@ -191,6 +203,8 @@ impl<'a> Engine<'a> {
         aggview_core::PlanAnalyzer::new(self.catalog)
             .with_env(self.env)
             .verify(plan)?;
+        self.admit(plan, gov)?;
+        let demotions_before = aggview_common::mixed_demotions();
         let mut ctx = ExecCtx {
             breakdown: Vec::new(),
             gov,
@@ -206,7 +220,39 @@ impl<'a> Engine<'a> {
             io_pages,
             breakdown: ctx.breakdown,
             peak_intermediate_bytes: ctx.peak_bytes,
+            mixed_demotions: aggview_common::mixed_demotions().saturating_sub(demotions_before),
         })
+    }
+
+    /// Static admission control: reject a plan whose guaranteed minimum
+    /// resource use already exceeds the governor's budgets. The bounds
+    /// are sums of per-operator output floors, mirroring how the
+    /// governor charges cumulatively at every operator boundary, so a
+    /// rejection is never spurious: executing the plan would provably
+    /// exhaust the same budget mid-run.
+    fn admit(&self, plan: &Plan, gov: &ResourceGovernor) -> Result<()> {
+        let limits = gov.limits();
+        if limits.max_rows.is_none() && limits.max_bytes.is_none() {
+            return Ok(());
+        }
+        let flow = dataflow::analyze_plan(plan, self.catalog, Some(self.env.rel_tables.as_slice()));
+        if let Some(cap) = limits.max_rows {
+            if flow.bounds.min_rows > cap {
+                return Err(AggViewError::PlanInadmissible(format!(
+                    "plan materializes at least {} rows, over the {cap}-row budget",
+                    flow.bounds.min_rows
+                )));
+            }
+        }
+        if let Some(cap) = limits.max_bytes {
+            if flow.bounds.min_bytes > cap {
+                return Err(AggViewError::PlanInadmissible(format!(
+                    "plan materializes at least {} bytes, over the {cap}-byte budget",
+                    flow.bounds.min_bytes
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn exec(&self, plan: &Plan, ctx: &mut ExecCtx<'_>) -> Result<(Vec<Col>, Data)> {
@@ -229,13 +275,14 @@ impl<'a> Engine<'a> {
                 input,
                 spec,
                 project,
-            } => self.exec_group_by(*algo, input, spec, project, ctx),
+            } => self.exec_group_by(plan, *algo, input, spec, project, ctx),
             Plan::PartialGroupBy {
                 algo,
                 input,
                 spec,
                 project,
-            } => self.exec_partial_group_by(*algo, input, spec, project, ctx),
+            } => self.exec_partial_group_by(plan, *algo, input, spec, project, ctx),
+            Plan::EmptyScan { project, types, .. } => self.exec_empty_scan(project, types, ctx),
             Plan::ExtentScan {
                 view,
                 table,
@@ -246,6 +293,32 @@ impl<'a> Engine<'a> {
                 ..
             } => self.exec_extent_scan(view, table, cols, outputs, filters, project, ctx),
         }
+    }
+
+    /// A subtree the dataflow pass proved empty: produce the declared
+    /// layout with zero rows, charging no IO and touching no storage.
+    /// In batch mode the (empty) columns are typed from the operator's
+    /// recorded schema so downstream kernels stay on their fast paths.
+    fn exec_empty_scan(
+        &self,
+        project: &[Col],
+        types: &[DataType],
+        ctx: &mut ExecCtx<'_>,
+    ) -> Result<(Vec<Col>, Data)> {
+        ctx.gov.check_interrupt()?;
+        ctx.breakdown.push(IoBreakdown {
+            op: "empty-scan".into(),
+            pages: 0.0,
+        });
+        ctx.note_op_output(0);
+        let data = match ctx.options.mode {
+            ExecMode::Row => Data::Rows(Vec::new()),
+            ExecMode::Batch => Data::Batch(Batch::from_parts(
+                types.iter().map(|&t| ColumnVec::with_type(t)).collect(),
+                0,
+            )),
+        };
+        Ok((project.to_vec(), data))
     }
 
     /// Scan a materialized-view extent: read the extent table like a
@@ -566,6 +639,7 @@ impl<'a> Engine<'a> {
 
     fn exec_group_by(
         &self,
+        node: &Plan,
         algo: AggAlgo,
         input: &Plan,
         spec: &GroupBySpec,
@@ -675,9 +749,20 @@ impl<'a> Engine<'a> {
                 let (keys, states, n_aggs) = table.into_key_columns();
                 // Finalize into aggregate columns, visiting states in the
                 // row path's group-major order so any finalize error is
-                // the same one it would surface.
+                // the same one it would surface. Columns are pre-typed
+                // from the dataflow certificate where it resolves one
+                // (projected aggregates of a Mixed-free plan); anything
+                // unresolved — e.g. a HAVING-only aggregate — stays on
+                // the Mixed fallback rather than risking a counted
+                // demotion.
+                let node_types = dataflow::output_types(node, self.catalog);
                 let mut cols = keys;
-                cols.extend((0..n_aggs).map(|_| ColumnVec::Mixed(Vec::with_capacity(ngroups))));
+                cols.extend(spec.agg_cols().iter().map(|c| {
+                    match node_types.as_ref().and_then(|m| m.get(c)) {
+                        Some(&ty) => ColumnVec::with_type(ty),
+                        None => ColumnVec::Mixed(Vec::with_capacity(ngroups)),
+                    }
+                }));
                 let agg_base = cols.len() - n_aggs;
                 for g in 0..ngroups {
                     for j in 0..n_aggs {
@@ -718,6 +803,7 @@ impl<'a> Engine<'a> {
 
     fn exec_partial_group_by(
         &self,
+        node: &Plan,
         algo: AggAlgo,
         input: &Plan,
         spec: &PartialGroupSpec,
@@ -799,8 +885,17 @@ impl<'a> Engine<'a> {
                 let ngroups = table.len();
                 let (keys, states, n_aggs) = table.into_key_columns();
                 let n_comps: usize = funcs.iter().map(|f| f.partial_arity()).sum();
+                // Pre-type the partial-state component columns from the
+                // dataflow certificate (same contract as the full
+                // group-by's aggregate columns).
+                let node_types = dataflow::output_types(node, self.catalog);
                 let mut cols = keys;
-                cols.extend((0..n_comps).map(|_| ColumnVec::Mixed(Vec::with_capacity(ngroups))));
+                cols.extend(spec.all_part_cols().iter().map(|c| {
+                    match node_types.as_ref().and_then(|m| m.get(c)) {
+                        Some(&ty) => ColumnVec::with_type(ty),
+                        None => ColumnVec::Mixed(Vec::with_capacity(ngroups)),
+                    }
+                }));
                 let comp_base = cols.len() - n_comps;
                 for g in 0..ngroups {
                     let mut cc = comp_base;

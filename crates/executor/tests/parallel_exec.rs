@@ -10,6 +10,7 @@
 //! parallel operator with bounded overshoot.
 
 use aggview_common::{AggFunc, AggSpec, CmpOp, Col, Expr, Predicate, RelId, Value, ViewId};
+use aggview_core::analyze::dataflow;
 use aggview_core::cost::CostModel;
 use aggview_core::governor::{ResourceGovernor, ResourceLimits};
 use aggview_core::plan::{all_cols, GroupBySpec, Plan};
@@ -170,7 +171,14 @@ fn parallel_row_budget_aborts_with_bounded_overshoot() {
     let threads = 4;
     let engine = Engine::new(&cat, &env, CostModel::default()).with_options(par(threads));
 
-    let cap = 5u64;
+    // Sit just above the dataflow row floor: small enough that the join
+    // still blows the budget mid-run, large enough that static admission
+    // control lets the plan start (a cap at or under the floor would be
+    // rejected with `PlanInadmissible` before any operator runs).
+    let floor = dataflow::analyze_plan(&join_plan(), &cat, Some(env.rel_tables.as_slice()))
+        .bounds
+        .min_rows;
+    let cap = floor + 5;
     let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_rows(cap));
     let err = engine
         .execute_governed(&join_plan(), &gov, None)
@@ -190,10 +198,14 @@ fn parallel_row_budget_aborts_with_bounded_overshoot() {
 fn parallel_byte_budget_aborts_with_structured_error() {
     let (cat, env) = setup(43, 300);
     let engine = Engine::new(&cat, &env, CostModel::default()).with_options(par(4));
-    let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_bytes(48));
-    let err = engine
-        .execute_governed(&group_plan(AggFunc::Sum, vec![]), &gov, None)
-        .unwrap_err();
+    let plan = group_plan(AggFunc::Sum, vec![]);
+    // Just above the static byte floor so admission passes but the
+    // real (wider) tuples exhaust the budget mid-run.
+    let floor = dataflow::analyze_plan(&plan, &cat, Some(env.rel_tables.as_slice()))
+        .bounds
+        .min_bytes;
+    let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_bytes(floor + 48));
+    let err = engine.execute_governed(&plan, &gov, None).unwrap_err();
     assert_eq!(err.kind(), "resource-exhausted");
     assert!(!err.is_retryable());
 }

@@ -322,9 +322,10 @@ impl Session {
     /// plan-integrity analyzer over the chosen plan, without executing
     /// it. Backs the REPL's `.lint` command and `EXPLAIN VERIFY`.
     ///
-    /// The result has one `(rule, finding)` row per violation, or a
-    /// single `(ok, ...)` row when the plan passes every check; the
-    /// `plan` and `estimated_cost` fields describe the analyzed plan.
+    /// The result has one `(code, severity, rule, finding)` row per
+    /// finding — errors first, then warnings, each ordered by code — or
+    /// a single `ok` row when the plan is clean; the `plan` and
+    /// `estimated_cost` fields describe the analyzed plan.
     pub fn verify(&mut self, sql: &str) -> Result<SqlResult> {
         let stmts = parse_script(sql)?;
         let mut select = None;
@@ -361,20 +362,39 @@ impl Session {
         } else {
             analyzer.analyze(&opt.plan)
         };
-        let rows = if report.is_ok() {
+        let rows = if report.is_clean() {
             vec![Tuple::new(vec![
+                Value::str("ok"),
+                Value::str("info"),
                 Value::str("ok"),
                 Value::str("plan passes all integrity checks"),
             ])]
         } else {
             report
-                .violations
+                .sorted()
                 .iter()
-                .map(|v| Tuple::new(vec![Value::str(v.rule), Value::str(&v.message)]))
+                .map(|v| {
+                    let finding = if v.path.is_empty() {
+                        v.message.clone()
+                    } else {
+                        format!("at {}: {}", v.path, v.message)
+                    };
+                    Tuple::new(vec![
+                        Value::str(v.code),
+                        Value::str(v.severity.to_string()),
+                        Value::str(v.rule),
+                        Value::str(finding),
+                    ])
+                })
                 .collect()
         };
         Ok(SqlResult {
-            columns: vec!["rule".into(), "finding".into()],
+            columns: vec![
+                "code".into(),
+                "severity".into(),
+                "rule".into(),
+                "finding".into(),
+            ],
             rows,
             io_pages: 0.0,
             estimated_cost: opt.props.cost,
@@ -721,7 +741,14 @@ mod tests {
     fn row_budget_aborts_execution_with_structured_error() {
         let mut s = session();
         s.limits = ResourceLimits::unlimited().with_max_rows(3);
+        // An unfiltered scan's static row floor is the whole table, so
+        // admission control rejects the query before any operator runs…
         let err = s.execute("select eno from emp").unwrap_err();
+        assert_eq!(err.kind(), "plan-inadmissible");
+        assert!(!err.is_retryable(), "admission rejections must not retry");
+        // …while a filtered scan (floor 0) is admitted and aborts
+        // mid-run once the budget is actually exceeded.
+        let err = s.execute("select eno from emp where age < 22").unwrap_err();
         assert_eq!(err.kind(), "resource-exhausted");
         assert!(!err.is_retryable(), "budget errors must not retry");
     }

@@ -1,0 +1,218 @@
+//! Integration tests for the plan-dataflow subsystem:
+//!
+//! 1. **contradiction pruning** — a SQL query with contradictory
+//!    predicates executes through `Plan::EmptyScan` without touching
+//!    storage (zero IO pages, zero governed rows);
+//! 2. **static admission control** — a plan whose guaranteed row/byte
+//!    floor exceeds the budget is rejected *before* execution with a
+//!    structured `plan-inadmissible` error and no work performed;
+//! 3. **soundness property** — over randomized databases and the
+//!    optimizer corpus at 1 and 4 executor threads, every concrete
+//!    output value lies inside its predicted domain and every measured
+//!    resource counter meets its static lower bound;
+//! 4. **type certification** — corpus plans certify Mixed-free and
+//!    execute with zero runtime demotions.
+
+use aggview::common::{CmpOp, Col, Predicate, Value};
+use aggview::core::analyze::dataflow;
+use aggview::core::plan::all_cols;
+use aggview::core::query::examples::{emp, example1_query, example2_query, example2_wide_query};
+use aggview::core::query::QueryEnv;
+use aggview::core::{optimize, CostModel, OptimizerConfig, Plan, ResourceGovernor, ResourceLimits};
+use aggview::executor::{Engine, ExecOptions};
+use aggview::sql::Session;
+use aggview::storage::datagen::{gen_empdept, EmpDeptConfig};
+use aggview::storage::Catalog;
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    gen_empdept(&EmpDeptConfig::default()).unwrap()
+}
+
+/// An unfiltered scan of `emp` inside a fresh single-relation
+/// environment, plus that environment.
+fn emp_scan_env() -> (Plan, QueryEnv) {
+    let mut env = QueryEnv::default();
+    let e = env.add_rel("emp");
+    (Plan::scan(e, "emp", vec![], all_cols(e, 5)), env)
+}
+
+#[test]
+fn contradictory_sql_query_executes_via_empty_scan() {
+    let mut session = Session::new(catalog());
+    let r = session
+        .execute("select eno from emp where sal > 5 and sal < 3;")
+        .unwrap();
+    assert!(r.rows.is_empty(), "contradictory predicates admit no rows");
+    assert!(
+        r.plan.contains("EmptyScan"),
+        "expected the plan to be pruned to an EmptyScan:\n{}",
+        r.plan
+    );
+    assert_eq!(r.io_pages, 0.0, "a pruned plan must not read any pages");
+}
+
+#[test]
+fn pruned_plan_reports_a_single_empty_scan_and_charges_nothing() {
+    let cat = catalog();
+    let mut env = QueryEnv::default();
+    let e = env.add_rel("emp");
+    let contradictory = Plan::scan(
+        e,
+        "emp",
+        vec![
+            Predicate::cmp_const(Col::base(e, emp::SAL), CmpOp::Gt, Value::Float(5.0)),
+            Predicate::cmp_const(Col::base(e, emp::SAL), CmpOp::Lt, Value::Float(3.0)),
+        ],
+        all_cols(e, 5),
+    );
+    let (pruned, n) = dataflow::prune_empty(&contradictory, &cat, Some(env.rel_tables.as_slice()));
+    assert_eq!(n, 1, "the contradictory scan must be pruned");
+    assert!(matches!(pruned, Plan::EmptyScan { .. }));
+
+    let engine = Engine::new(&cat, &env, CostModel::default());
+    let gov = ResourceGovernor::unlimited();
+    let rs = engine.execute_governed(&pruned, &gov, None).unwrap();
+    assert!(rs.rows.is_empty());
+    assert_eq!(rs.io_pages, 0.0);
+    assert_eq!(rs.breakdown.len(), 1, "exactly one operator must report");
+    assert_eq!(rs.breakdown[0].op, "empty-scan");
+    assert_eq!(rs.breakdown[0].pages, 0.0);
+    assert_eq!(gov.rows_used(), 0, "no tuples may be charged");
+    assert_eq!(gov.bytes_used(), 0, "no bytes may be charged");
+}
+
+#[test]
+fn over_budget_plan_is_rejected_before_any_work() {
+    let cat = catalog();
+    let (scan, env) = emp_scan_env();
+    let engine = Engine::new(&cat, &env, CostModel::default());
+
+    // The static row floor of an unfiltered scan is the table's row
+    // count; a cap of 3 is provably unreachable, so the engine must
+    // reject up front instead of scanning and aborting mid-run.
+    let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_rows(3));
+    let err = engine.execute_governed(&scan, &gov, None).unwrap_err();
+    assert_eq!(err.kind(), "plan-inadmissible");
+    assert!(
+        !err.is_retryable(),
+        "an inadmissible plan never succeeds on retry"
+    );
+    assert_eq!(gov.rows_used(), 0, "rejection must precede execution");
+    assert_eq!(gov.bytes_used(), 0, "rejection must precede execution");
+
+    // The byte floor triggers the same gate.
+    let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_bytes(8));
+    let err = engine.execute_governed(&scan, &gov, None).unwrap_err();
+    assert_eq!(err.kind(), "plan-inadmissible");
+    assert_eq!(gov.bytes_used(), 0);
+
+    // A budget at the floor itself is admissible: the gate only rejects
+    // caps the floor *exceeds*.
+    let floor = dataflow::analyze_plan(&scan, &cat, Some(env.rel_tables.as_slice()))
+        .bounds
+        .min_rows;
+    let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_rows(floor));
+    engine
+        .execute_governed(&scan, &gov, None)
+        .expect("a cap equal to the floor must be admitted");
+}
+
+#[test]
+fn certified_corpus_executes_without_mixed_demotions() {
+    let cat = catalog();
+    for q in [example1_query(), example2_query(), example2_wide_query()] {
+        for cfg in [OptimizerConfig::traditional(), OptimizerConfig::default()] {
+            let opt = optimize(&q, &cat, CostModel::default(), &cfg).unwrap();
+            let df = dataflow::analyze_plan(&opt.plan, &cat, Some(q.env.rel_tables.as_slice()));
+            assert!(
+                df.mixed_free,
+                "corpus plan failed type certification:\n{}",
+                opt.plan.explain()
+            );
+            let engine = Engine::new(&cat, &q.env, CostModel::default());
+            let rs = engine.execute(&opt.plan).unwrap();
+            assert_eq!(
+                rs.mixed_demotions,
+                0,
+                "certified plan demoted typed columns at runtime:\n{}",
+                opt.plan.explain()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The pass is sound: executed results never escape the predicted
+    /// per-column domains, and the measured row/byte/peak counters are
+    /// never below the guaranteed floors — at 1 and 4 executor threads,
+    /// over randomized databases and the full example corpus.
+    #[test]
+    fn predicted_domains_and_bounds_are_sound(
+        n_depts in 2usize..30,
+        emps_per_dept in 1usize..25,
+        young_pct in 0u32..100,
+        seed in 0u64..10_000,
+        which in 0usize..3,
+    ) {
+        let cat = gen_empdept(&EmpDeptConfig {
+            n_depts,
+            emps_per_dept,
+            young_fraction: young_pct as f64 / 100.0,
+            low_budget_fraction: 0.4,
+            seed,
+        })
+        .unwrap();
+        let q = match which {
+            0 => example1_query(),
+            1 => example2_query(),
+            _ => example2_wide_query(),
+        };
+        let opt = optimize(&q, &cat, CostModel::default(), &OptimizerConfig::default()).unwrap();
+        let df = dataflow::analyze_plan(&opt.plan, &cat, Some(q.env.rel_tables.as_slice()));
+
+        for threads in [1usize, 4] {
+            let engine = Engine::new(&cat, &q.env, CostModel::default())
+                .with_options(ExecOptions { threads, ..Default::default() });
+            let gov = ResourceGovernor::unlimited();
+            let rs = engine.execute_governed(&opt.plan, &gov, None).unwrap();
+
+            // Every concrete output value satisfies its column's domain.
+            for (k, col) in rs.cols.iter().enumerate() {
+                if let Some(dom) = df.columns.get(col) {
+                    for row in &rs.rows {
+                        prop_assert!(
+                            dom.admits(row.get(k)),
+                            "value {} of column {col} escapes its domain {dom:?} \
+                             ({threads} threads)",
+                            row.get(k)
+                        );
+                    }
+                }
+            }
+
+            // Measured usage meets every static lower bound (an
+            // unlimited governor still counts exactly).
+            prop_assert!(
+                gov.rows_used() >= df.bounds.min_rows,
+                "row floor {} exceeds measured {} ({threads} threads)",
+                df.bounds.min_rows,
+                gov.rows_used()
+            );
+            prop_assert!(
+                gov.bytes_used() >= df.bounds.min_bytes,
+                "byte floor {} exceeds measured {} ({threads} threads)",
+                df.bounds.min_bytes,
+                gov.bytes_used()
+            );
+            prop_assert!(
+                rs.peak_intermediate_bytes >= df.bounds.min_peak_bytes,
+                "peak floor {} exceeds measured {} ({threads} threads)",
+                df.bounds.min_peak_bytes,
+                rs.peak_intermediate_bytes
+            );
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! retryable errors — never as panics or silent partial results.
 
 use aggview::common::ScheduledFaults;
+use aggview::core::analyze::dataflow;
 use aggview::core::query::examples::{example1_query, example2_query};
 use aggview::core::{
     optimize, optimize_governed, optimize_traditional, CancellationToken, CostModel,
@@ -107,7 +108,14 @@ fn row_budget_aborts_within_one_operator_boundary() {
     let opt = optimize(&q, &catalog, model, &OptimizerConfig::default()).unwrap();
     let engine = Engine::new(&catalog, &q.env, model);
 
-    let cap = 5u64;
+    // Just above the dataflow row floor: static admission control
+    // rejects any cap at or under the floor before execution starts, so
+    // a mid-run abort needs a budget the floor admits but the real
+    // (larger) output exhausts.
+    let floor = dataflow::analyze_plan(&opt.plan, &catalog, Some(q.env.rel_tables.as_slice()))
+        .bounds
+        .min_rows;
+    let cap = floor + 5;
     let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_rows(cap));
     let err = engine.execute_governed(&opt.plan, &gov, None).unwrap_err();
     assert_eq!(err.kind(), "resource-exhausted");
@@ -131,7 +139,12 @@ fn byte_budget_aborts_with_structured_error() {
     let opt = optimize(&q, &catalog, model, &OptimizerConfig::default()).unwrap();
     let engine = Engine::new(&catalog, &q.env, model);
 
-    let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_bytes(64));
+    // Just above the static byte floor (see the row-budget test): the
+    // floor counts minimum value widths, real tuples are wider.
+    let floor = dataflow::analyze_plan(&opt.plan, &catalog, Some(q.env.rel_tables.as_slice()))
+        .bounds
+        .min_bytes;
+    let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_bytes(floor + 64));
     let err = engine.execute_governed(&opt.plan, &gov, None).unwrap_err();
     assert_eq!(err.kind(), "resource-exhausted");
 }
@@ -157,7 +170,10 @@ fn row_budget_holds_under_parallel_execution() {
     let engine =
         Engine::new(&catalog, &q.env, model).with_options(parallel_options(threads as usize));
 
-    let cap = 5u64;
+    let floor = dataflow::analyze_plan(&opt.plan, &catalog, Some(q.env.rel_tables.as_slice()))
+        .bounds
+        .min_rows;
+    let cap = floor + 5;
     let gov = ResourceGovernor::new(ResourceLimits::unlimited().with_max_rows(cap));
     let err = engine.execute_governed(&opt.plan, &gov, None).unwrap_err();
     assert_eq!(err.kind(), "resource-exhausted");

@@ -259,6 +259,65 @@ fn analyzer_rejects_every_seeded_mutant() {
 }
 
 #[test]
+fn dataflow_mutants_are_flagged() {
+    use aggview::common::DataType;
+    use aggview::core::analyze::mutate::dataflow_mutants;
+    use aggview::core::analyze::Severity;
+    let catalog = catalog();
+    let mut env = QueryEnv::default();
+    let e = env.add_rel("emp");
+
+    // A constant-false scan filter makes the subtree provably empty —
+    // correct but wasteful, so it's a DF001 *warning*: the plan still
+    // passes the gate but the finding is surfaced.
+    let muts = dataflow_mutants(&scan_emp(e));
+    let contradiction = muts
+        .iter()
+        .find(|m| m.name == "contradictory-filter")
+        .expect("scan shape must admit the contradictory-filter mutant");
+    let report = PlanAnalyzer::new(&catalog)
+        .with_env(&env)
+        .analyze(&contradiction.plan);
+    assert!(report.is_ok(), "a warning must not reject:\n{report}");
+    assert!(!report.is_clean(), "the contradiction must be surfaced");
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "dataflow-domain")
+        .expect("expected a dataflow-domain finding");
+    assert_eq!(v.code, "DF001");
+    assert_eq!(v.severity, Severity::Warning);
+
+    // Lies in an EmptyScan's recorded provenance are hard errors: a
+    // type that contradicts the catalog schema (DF002) and a cover of
+    // a relation the query never declared (DF003).
+    let empty = Plan::empty_scan(
+        vec![e],
+        vec![Col::base(e, emp::ENO)],
+        vec![DataType::Int],
+        "test fixture",
+    );
+    let base = PlanAnalyzer::new(&catalog).with_env(&env).analyze(&empty);
+    assert!(base.is_clean(), "unmutated EmptyScan flagged:\n{base}");
+    let muts = dataflow_mutants(&empty);
+    let kinds: BTreeSet<&str> = muts.iter().map(|m| m.name).collect();
+    assert!(kinds.contains("empty-scan-type-lie"), "kinds: {kinds:?}");
+    assert!(
+        kinds.contains("empty-scan-phantom-cover"),
+        "kinds: {kinds:?}"
+    );
+    for mt in &muts {
+        let report = PlanAnalyzer::new(&catalog).with_env(&env).analyze(&mt.plan);
+        assert!(
+            !report.is_ok(),
+            "mutant `{}` accepted:\n{}",
+            mt.name,
+            mt.plan.explain()
+        );
+    }
+}
+
+#[test]
 fn pullup_without_the_joined_relations_key_is_rejected() {
     let catalog = catalog();
     let q = example1_query();
@@ -428,7 +487,7 @@ fn explain_verify_reports_the_analyzer_verdict() {
              where e.dno = d.dno group by e.dno;",
         )
         .unwrap();
-    assert_eq!(r.columns, ["rule", "finding"]);
+    assert_eq!(r.columns, ["code", "severity", "rule", "finding"]);
     assert_eq!(r.rows.len(), 1);
     assert_eq!(*r.rows[0].get(0), Value::str("ok"));
     assert!(!r.plan.is_empty(), "the verdict should carry the plan");

@@ -172,7 +172,7 @@ fn pull_up_transformation_preserves_results() {
             Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => {
                 find_join_over_gb(input)
             }
-            Plan::Scan { .. } | Plan::ExtentScan { .. } => None,
+            Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => None,
         }
     }
     let j1 = find_join_over_gb(&trad.plan).expect("traditional plan joins the view");
