@@ -26,7 +26,7 @@ use crate::model_with_mem;
 use aggview_common::predicate::{self, BoundPredicate};
 use aggview_common::{
     AggFunc, AggSpec, AggViewError, Batch, CmpOp, Col, DataType, Expr, PartialAggState, Predicate,
-    RelId, Result, Tuple, Value, ViewId,
+    RelId, Result, Schema, Tuple, Value, ViewId,
 };
 use aggview_core::analyze::PlanAnalyzer;
 use aggview_core::governor::ResourceGovernor;
@@ -103,6 +103,38 @@ pub struct MatviewReport {
     pub stale_then_refreshed_ms: f64,
     /// Extent after incremental `INSERT` maintenance equals the extent
     /// after a from-scratch refresh over the same base data.
+    pub incremental_matches_refresh: bool,
+}
+
+/// The streaming-delta-maintenance workload: rounds of mixed DML
+/// (`INSERT`, `UPDATE`, `DELETE`) against several registered views,
+/// maintained incrementally through the Z-set delta path vs. refreshed
+/// from scratch after every statement.
+#[derive(Debug, Clone)]
+pub struct MaintenanceReport {
+    /// Materialized views registered over the base table.
+    pub views: u64,
+    /// Mixed-DML rounds per measured run (each round: one insert, one
+    /// update, one delete — net zero, so repeats see steady state).
+    pub rounds: u64,
+    /// Rows in the base table the views aggregate.
+    pub base_rows: u64,
+    /// DML statements per measured run (`rounds * 3`).
+    pub statements: u64,
+    /// Maintenance time for all statements via the Z-set delta path.
+    /// Both strategies pay the identical base-table mutation cost, so
+    /// the clocks cover maintenance work only.
+    pub incremental_ms: f64,
+    /// Maintenance time with a full `REFRESH` of every view after each
+    /// statement.
+    pub refresh_ms: f64,
+    pub incremental_stmts_per_sec: f64,
+    pub refresh_stmts_per_sec: f64,
+    /// `refresh_ms / incremental_ms` — how much cheaper maintaining
+    /// deltas is than rebuilding per change.
+    pub speedup: f64,
+    /// After both histories, every extent is byte-identical between the
+    /// two strategies.
     pub incremental_matches_refresh: bool,
 }
 
@@ -199,6 +231,7 @@ pub struct ExecBenchReport {
     pub workloads: Vec<WorkloadReport>,
     pub serial_kernels: SerialKernels,
     pub matview: MatviewReport,
+    pub maintenance: MaintenanceReport,
     pub durability: DurabilityReport,
     pub static_analysis: StaticAnalysisReport,
     /// Plans run through the static integrity analyzer before execution.
@@ -470,6 +503,7 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
     };
 
     let matview = matview_report(scale, repeats)?;
+    let maintenance = maintenance_report(scale, repeats)?;
     let durability = durability_report(scale, repeats)?;
     let static_analysis = static_analysis_report(&empdept, &star)?;
 
@@ -481,6 +515,7 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
         workloads,
         serial_kernels,
         matview,
+        maintenance,
         durability,
         static_analysis,
         plans_checked,
@@ -754,6 +789,201 @@ fn matview_report(scale: usize, repeats: usize) -> Result<MatviewReport> {
         speedup: cold_ms / materialized_ms.max(1e-9),
         refresh_ms,
         stale_then_refreshed_ms,
+        incremental_matches_refresh,
+    })
+}
+
+/// Steady-state DML maintenance: each round inserts a row, gives it a
+/// raise, and deletes it again (net zero, so every repeat and both
+/// strategies see the same base data), against three registered views.
+/// Salaries are multiples of 0.5 so incremental retraction is exact
+/// arithmetic and the final-extent comparison is byte-for-byte.
+fn maintenance_report(scale: usize, repeats: usize) -> Result<MaintenanceReport> {
+    use aggview_sql::Session;
+    use aggview_storage::{MatViewMeta, Table};
+
+    const N_DEPTS: i64 = 50;
+    let emps_per_dept = (200 * scale) as i64;
+    let rounds = 8u64;
+
+    let seed_catalog = || -> Result<Catalog> {
+        let cat = Catalog::new();
+        let mut b = Table::builder(
+            "emp",
+            Schema::of(&[
+                ("eno", DataType::Int),
+                ("name", DataType::Str),
+                ("dno", DataType::Int),
+                ("sal", DataType::Float),
+                ("age", DataType::Int),
+            ]),
+        )
+        .primary_key(&["eno"])?;
+        let mut eno = 0i64;
+        for dno in 0..N_DEPTS {
+            for k in 0..emps_per_dept {
+                // Every group spans exactly [1000, 1237.5] so the
+                // interior salaries the rounds insert are never a
+                // group extremum (no MIN/MAX recompute on their
+                // deletion — the steady-state delta path is what this
+                // section times).
+                b.push(Tuple::new(vec![
+                    Value::Int(eno),
+                    Value::Str(format!("p{eno}").into()),
+                    Value::Int(dno),
+                    Value::Float(1000.0 + (k % 20) as f64 * 12.5),
+                    Value::Int(21 + (k % 30)),
+                ]))?;
+                eno += 1;
+            }
+        }
+        cat.add(b.build()?)?;
+        Ok(cat)
+    };
+    const VIEWS: &[(&str, &str)] = &[
+        (
+            "msum",
+            "create materialized view msum(dno, total, n) as \
+             select dno, sum(sal), count(*) from emp group by dno",
+        ),
+        (
+            "mrange",
+            "create materialized view mrange(dno, lo, hi, n) as \
+             select dno, min(sal), max(sal), count(*) from emp group by dno",
+        ),
+        (
+            "myoung",
+            "create materialized view myoung(dno, avgsal) as \
+             select dno, avg(sal) from emp where age < 30 group by dno",
+        ),
+    ];
+
+    let session = || -> Result<Session> {
+        let mut s = Session::new(seed_catalog()?);
+        s.exec = ExecOptions::with_threads(1);
+        for (_, create) in VIEWS {
+            s.execute(create)?;
+        }
+        Ok(s)
+    };
+    let inc = session()?;
+    let mut refr = session()?;
+    let base_rows = inc.catalog().get("emp")?.len() as u64;
+    let model = model_with_mem(64.0);
+    let opts = ExecOptions::with_threads(1);
+
+    // Both strategies pay the identical base-table mutation cost
+    // (immutable tables rebuild + re-analyze on every DML), so the
+    // clock covers *maintenance work only*: the Z-set delta pass on one
+    // side, the per-change `REFRESH` rebuilds on the other. Mutations
+    // run outside the timed regions.
+    let emp_row = |eno: i64, dno: i64, sal: f64, age: i64| {
+        Tuple::new(vec![
+            Value::Int(eno),
+            Value::str("mx"),
+            Value::Int(dno),
+            Value::Float(sal),
+            Value::Int(age),
+        ])
+    };
+
+    // Incremental strategy: the delta-maintenance entry point the SQL
+    // layer's INSERT/UPDATE/DELETE statements call.
+    let mut next_eno = 1_000_000i64;
+    let mut incremental_ms = f64::INFINITY;
+    for _ in 0..repeats {
+        let gov = ResourceGovernor::new(aggview_core::governor::ResourceLimits::unlimited());
+        let cat = inc.catalog();
+        let mut elapsed = 0.0f64;
+        let mut maintain = |delta: &aggview_common::ZSet| -> Result<()> {
+            let t = Instant::now();
+            aggview_executor::delta::maintain_after_dml(
+                "emp", delta, cat, model, opts, &gov, None,
+            )?;
+            elapsed += t.elapsed().as_secs_f64() * 1e3;
+            Ok(())
+        };
+        for r in 0..rounds {
+            let eno = next_eno;
+            next_eno += 1;
+            let dno = (r as i64) % N_DEPTS;
+            // Interior, never tying a stored value (offset ends .25).
+            let sal = 1106.25 + (r as i64 % 8) as f64 * 12.5;
+            let age = 20 + (r as i64 % 30);
+
+            cat.append_rows("emp", vec![emp_row(eno, dno, sal, age)])?;
+            maintain(&aggview_common::ZSet::from_inserts([emp_row(
+                eno, dno, sal, age,
+            )]))?;
+
+            let pos = cat.get("emp")?.len() - 1;
+            let pairs = cat.update_rows("emp", &[pos], vec![emp_row(eno, dno, sal + 12.5, age)])?;
+            let mut delta = aggview_common::ZSet::new();
+            for (old, new) in pairs {
+                delta.add(old, -1);
+                delta.add(new, 1);
+            }
+            maintain(&delta)?;
+
+            let removed = cat.delete_rows("emp", &[pos])?;
+            maintain(&aggview_common::ZSet::from_deletes(removed))?;
+        }
+        incremental_ms = incremental_ms.min(elapsed);
+    }
+
+    // Refresh-per-change strategy: every view rebuilt from scratch
+    // after each mutation.
+    let mut refresh_ms = f64::INFINITY;
+    for _ in 0..repeats {
+        let mut elapsed = 0.0f64;
+        let mut refresh_all = |s: &mut Session| -> Result<()> {
+            let t = Instant::now();
+            for (name, _) in VIEWS {
+                s.execute(&format!("refresh materialized view {name}"))?;
+            }
+            elapsed += t.elapsed().as_secs_f64() * 1e3;
+            Ok(())
+        };
+        for r in 0..rounds {
+            let eno = next_eno;
+            next_eno += 1;
+            let dno = (r as i64) % N_DEPTS;
+            let sal = 1106.25 + (r as i64 % 8) as f64 * 12.5;
+            let age = 20 + (r as i64 % 30);
+            refr.catalog()
+                .append_rows("emp", vec![emp_row(eno, dno, sal, age)])?;
+            refresh_all(&mut refr)?;
+            let pos = refr.catalog().get("emp")?.len() - 1;
+            refr.catalog()
+                .update_rows("emp", &[pos], vec![emp_row(eno, dno, sal + 12.5, age)])?;
+            refresh_all(&mut refr)?;
+            refr.catalog().delete_rows("emp", &[pos])?;
+            refresh_all(&mut refr)?;
+        }
+        refresh_ms = refresh_ms.min(elapsed);
+    }
+
+    // Both histories are net no-ops over identical seeds, so every
+    // extent must agree byte-for-byte across the two strategies.
+    let mut incremental_matches_refresh = true;
+    for (name, _) in VIEWS {
+        let ext = MatViewMeta::extent_name(name);
+        let a = sorted(inc.catalog().get(&ext)?.rows());
+        let b = sorted(refr.catalog().get(&ext)?.rows());
+        incremental_matches_refresh &= a == b;
+    }
+
+    let statements = rounds * 3;
+    Ok(MaintenanceReport {
+        views: VIEWS.len() as u64,
+        rounds,
+        base_rows,
+        statements,
+        incremental_ms,
+        refresh_ms,
+        incremental_stmts_per_sec: rate(statements, incremental_ms),
+        refresh_stmts_per_sec: rate(statements, refresh_ms),
+        speedup: refresh_ms / incremental_ms.max(1e-9),
         incremental_matches_refresh,
     })
 }
@@ -1372,6 +1602,23 @@ impl ExecBenchReport {
             num(m.stale_then_refreshed_ms),
             m.incremental_matches_refresh,
         ));
+        let mn = &self.maintenance;
+        s.push_str(&format!(
+            "  \"maintenance\": {{\"views\": {}, \"rounds\": {}, \"base_rows\": {}, \
+             \"statements\": {}, \"incremental_ms\": {}, \"refresh_ms\": {}, \
+             \"incremental_stmts_per_sec\": {}, \"refresh_stmts_per_sec\": {}, \
+             \"speedup\": {}, \"incremental_matches_refresh\": {}}},\n",
+            mn.views,
+            mn.rounds,
+            mn.base_rows,
+            mn.statements,
+            num(mn.incremental_ms),
+            num(mn.refresh_ms),
+            num(mn.incremental_stmts_per_sec),
+            num(mn.refresh_stmts_per_sec),
+            num(mn.speedup),
+            mn.incremental_matches_refresh,
+        ));
         let d = &self.durability;
         s.push_str(&format!(
             "  \"durability\": {{\"rows_appended\": {}, \"mem_insert_ms\": {}, \
@@ -1497,6 +1744,21 @@ impl ExecBenchReport {
             m.refresh_ms,
             m.stale_then_refreshed_ms,
             m.incremental_matches_refresh
+        ));
+        let mn = &self.maintenance;
+        s.push_str(&format!(
+            "maintenance ({} views, {} mixed-DML stmts over {} rows, maintenance time only): \
+             incremental {:.2} ms ({:.0} stmts/s) vs refresh-per-change {:.2} ms \
+             ({:.0} stmts/s) — {:.1}x, extents identical: {}\n",
+            mn.views,
+            mn.statements,
+            mn.base_rows,
+            mn.incremental_ms,
+            mn.incremental_stmts_per_sec,
+            mn.refresh_ms,
+            mn.refresh_stmts_per_sec,
+            mn.speedup,
+            mn.incremental_matches_refresh
         ));
         let d = &self.durability;
         s.push_str(&format!(
@@ -1666,6 +1928,18 @@ mod tests {
             report.matview.incremental_matches_refresh,
             "incremental maintenance must reproduce the rebuilt extent"
         );
+        let mn = &report.maintenance;
+        assert_eq!(mn.views, 3);
+        assert_eq!(mn.statements, mn.rounds * 3);
+        assert!(
+            mn.incremental_matches_refresh,
+            "delta maintenance must land on the refreshed extents"
+        );
+        assert!(
+            mn.speedup >= 5.0,
+            "incremental maintenance should beat refresh-per-change by >= 5x, got {:.2}x",
+            mn.speedup
+        );
         let d = &report.durability;
         assert_eq!(d.rows_appended, 1000);
         // put_table + one record per insert batch.
@@ -1676,6 +1950,7 @@ mod tests {
         assert!(json.contains("\"durability\""));
         assert!(json.contains("\"replay_records\": 41"));
         assert!(json.contains("\"incremental_matches_refresh\": true"));
+        assert!(json.contains("\"maintenance\""));
         assert!(json.contains("\"e8_groupby\""));
         assert!(json.contains("\"serial_kernels\""));
         assert!(json.contains("\"clone_key\""));

@@ -142,6 +142,17 @@ impl fmt::Display for AggSpec {
     }
 }
 
+/// How a [`PartialAggState::retract_components`] call concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retraction {
+    /// The state now reflects the group minus the retracted rows.
+    Retracted,
+    /// The retraction touched information the state cannot invert
+    /// (a MIN/MAX extremum tie): the group must be recomputed from
+    /// base data. The state is unchanged.
+    NeedsRecompute,
+}
+
 /// A partial aggregate state: the decomposed representation of one
 /// aggregate over a subset of a group's tuples.
 ///
@@ -306,6 +317,114 @@ impl PartialAggState {
         Ok(())
     }
 
+    /// Retract raw state components: the inverse of
+    /// [`merge_components`](Self::merge_components), used by Z-set view
+    /// maintenance to subtract deleted rows' contribution from a stored
+    /// group.
+    ///
+    /// COUNT/SUM/AVG/STDDEV subtract exactly (their partial states form
+    /// a group under addition). MIN/MAX are *not* invertible: the state
+    /// only remembers the extremum, so retracting a partial whose
+    /// extremum ties the stored one may or may not change the group —
+    /// those return [`Retraction::NeedsRecompute`] and the maintainer
+    /// recomputes that group from base data. A retraction that is
+    /// impossible for any consistent history (negative count, deleting
+    /// a value strictly beyond the stored extremum) is an execution
+    /// error; callers treat it as "fall back to rebuild".
+    pub fn retract_components<V: std::borrow::Borrow<Value>>(
+        &mut self,
+        other: &[V],
+    ) -> Result<Retraction> {
+        let first = other.first().map(std::borrow::Borrow::borrow);
+        match self.func {
+            AggFunc::Count => {
+                let a = state_i64(&self.state[0], "COUNT")?;
+                let b = first
+                    .and_then(Value::as_i64)
+                    .ok_or_else(|| AggViewError::Exec("bad COUNT partial state".into()))?;
+                self.state[0] = Value::Int(checked_retract_count(a, b, "COUNT")?);
+            }
+            AggFunc::Sum => match (self.state.first().cloned(), first) {
+                (_, None) => {}
+                (None, Some(_)) => {
+                    return Err(AggViewError::Exec("SUM retraction from empty state".into()))
+                }
+                (Some(cur), Some(v)) => self.state[0] = sub_numeric(&cur, v)?,
+            },
+            AggFunc::Min | AggFunc::Max => match (self.state.first().cloned(), first) {
+                (_, None) => {}
+                (None, Some(_)) => {
+                    return Err(AggViewError::Exec(format!(
+                        "{} retraction from empty state",
+                        self.func
+                    )))
+                }
+                (Some(cur), Some(v)) => {
+                    let beats_stored = if self.func == AggFunc::Min {
+                        v < &cur
+                    } else {
+                        v > &cur
+                    };
+                    if beats_stored {
+                        return Err(AggViewError::Exec(format!(
+                            "{} retraction of {v} beyond stored extremum {cur}",
+                            self.func
+                        )));
+                    }
+                    if v == &cur {
+                        // The deleted rows reached the stored extremum;
+                        // only base data knows whether a duplicate
+                        // survives.
+                        return Ok(Retraction::NeedsRecompute);
+                    }
+                }
+            },
+            AggFunc::Avg => {
+                if other.len() != 2 {
+                    return Err(AggViewError::Exec("bad AVG partial state".into()));
+                }
+                let s = state_f64(&self.state[0], "AVG sum")? - partial_f64(other[0].borrow())?;
+                let n = checked_retract_count(
+                    state_i64(&self.state[1], "AVG count")?,
+                    partial_i64(other[1].borrow())?,
+                    "AVG count",
+                )?;
+                self.state[0] = Value::Float(s);
+                self.state[1] = Value::Int(n);
+            }
+            AggFunc::StdDev => {
+                if other.len() != 3 {
+                    return Err(AggViewError::Exec("bad STDDEV partial state".into()));
+                }
+                let s = state_f64(&self.state[0], "STDDEV sum")? - partial_f64(other[0].borrow())?;
+                let q =
+                    state_f64(&self.state[1], "STDDEV sumsq")? - partial_f64(other[1].borrow())?;
+                let n = checked_retract_count(
+                    state_i64(&self.state[2], "STDDEV count")?,
+                    partial_i64(other[2].borrow())?,
+                    "STDDEV count",
+                )?;
+                self.state[0] = Value::Float(s);
+                self.state[1] = Value::Float(q);
+                self.state[2] = Value::Int(n);
+            }
+        }
+        Ok(Retraction::Retracted)
+    }
+
+    /// The rows remaining in the group according to this state's own
+    /// counter, when the function keeps one: COUNT's count, AVG's and
+    /// STDDEV's row counts. `None` for SUM/MIN/MAX, whose states cannot
+    /// witness emptiness.
+    pub fn count_component(&self) -> Option<i64> {
+        match self.func {
+            AggFunc::Count => self.state.first().and_then(Value::as_i64),
+            AggFunc::Avg => self.state.get(1).and_then(Value::as_i64),
+            AggFunc::StdDev => self.state.get(2).and_then(Value::as_i64),
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => None,
+        }
+    }
+
     /// The state components (for embedding into tuples). For SUM/MIN/MAX
     /// the empty state has no components; callers must not emit tuples
     /// for empty groups (grouped aggregation never does).
@@ -430,6 +549,32 @@ fn state_i64(v: &Value, what: &str) -> Result<i64> {
 fn checked_count(a: i64, b: i64, what: &str) -> Result<i64> {
     a.checked_add(b)
         .ok_or_else(|| AggViewError::Exec(format!("{what} overflow")))
+}
+
+/// Subtract a retracted count; a negative result means the delta deletes
+/// rows the group never contained — no consistent history produces it.
+fn checked_retract_count(a: i64, b: i64, what: &str) -> Result<i64> {
+    match a.checked_sub(b) {
+        Some(n) if n >= 0 => Ok(n),
+        _ => Err(AggViewError::Exec(format!(
+            "{what} retraction below zero ({a} - {b})"
+        ))),
+    }
+}
+
+/// Subtract two numeric values, staying exact for Int − Int.
+fn sub_numeric(a: &Value, b: &Value) -> Result<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x
+            .checked_sub(*y)
+            .map(Value::Int)
+            .ok_or_else(|| AggViewError::Exec(format!("SUM retraction overflow ({x} - {y})"))),
+        _ => {
+            let x = as_number(a, "SUM")?;
+            let y = as_number(b, "SUM")?;
+            Ok(Value::Float(x - y))
+        }
+    }
 }
 
 fn partial_f64(v: &Value) -> Result<f64> {
@@ -632,6 +777,90 @@ mod tests {
             AggFunc::Min.output_type(Some(DataType::Str)).unwrap(),
             DataType::Str
         );
+    }
+
+    /// Retraction inverts merge for the additive functions: merging a
+    /// partial then retracting the same partial is the identity.
+    #[test]
+    fn retract_inverts_merge_for_additive_functions() {
+        let vals: Vec<Value> = (1..=6).map(Value::Int).collect();
+        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::StdDev] {
+            let mut base = PartialAggState::empty(f);
+            for v in &vals {
+                base.update(Some(v)).unwrap();
+            }
+            let before = base.clone();
+            let mut delta = PartialAggState::empty(f);
+            delta.update(Some(&Value::Int(2))).unwrap();
+            delta.update(Some(&Value::Int(5))).unwrap();
+            base.merge(&delta).unwrap();
+            let outcome = base.retract_components(delta.components()).unwrap();
+            assert_eq!(outcome, Retraction::Retracted, "{f}");
+            assert_eq!(base, before, "{f}");
+        }
+    }
+
+    #[test]
+    fn min_retraction_of_non_extremum_is_exact() {
+        let mut s = PartialAggState::empty(AggFunc::Min);
+        s.update(Some(&Value::Int(3))).unwrap();
+        let mut d = PartialAggState::empty(AggFunc::Min);
+        d.update(Some(&Value::Int(7))).unwrap();
+        assert_eq!(
+            s.retract_components(d.components()).unwrap(),
+            Retraction::Retracted
+        );
+        assert_eq!(s.finalize().unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn minmax_extremum_tie_needs_recompute() {
+        for (f, tie) in [(AggFunc::Min, 3i64), (AggFunc::Max, 9i64)] {
+            let mut s = PartialAggState::empty(f);
+            for v in [3i64, 9] {
+                s.update(Some(&Value::Int(v))).unwrap();
+            }
+            let mut d = PartialAggState::empty(f);
+            d.update(Some(&Value::Int(tie))).unwrap();
+            assert_eq!(
+                s.retract_components(d.components()).unwrap(),
+                Retraction::NeedsRecompute,
+                "{f}"
+            );
+            // State is left untouched for the recompute path.
+            assert_eq!(
+                s.finalize().unwrap(),
+                Value::Int(if tie == 3 { 3 } else { 9 })
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_retractions_are_errors() {
+        // Deleting below a stored MIN, or more rows than COUNT holds,
+        // cannot arise from a consistent history.
+        let mut m = PartialAggState::empty(AggFunc::Min);
+        m.update(Some(&Value::Int(5))).unwrap();
+        let mut d = PartialAggState::empty(AggFunc::Min);
+        d.update(Some(&Value::Int(1))).unwrap();
+        assert!(m.retract_components(d.components()).is_err());
+
+        let mut c = PartialAggState::empty(AggFunc::Count);
+        c.update(None).unwrap();
+        let err = c.retract_components(&[Value::Int(2)]).unwrap_err();
+        assert!(err.message().contains("below zero"), "{err}");
+    }
+
+    #[test]
+    fn count_component_witnesses_emptiness() {
+        let mut c = PartialAggState::empty(AggFunc::Count);
+        c.update(None).unwrap();
+        assert_eq!(c.count_component(), Some(1));
+        let mut a = PartialAggState::empty(AggFunc::Avg);
+        a.update(Some(&Value::Int(4))).unwrap();
+        assert_eq!(a.count_component(), Some(1));
+        let s = PartialAggState::empty(AggFunc::Sum);
+        assert_eq!(s.count_component(), None);
     }
 
     #[test]

@@ -35,8 +35,9 @@ pub mod predicate;
 pub mod schema;
 pub mod tuple;
 pub mod value;
+pub mod zset;
 
-pub use agg::{AggAccumulator, AggFunc, AggSpec, PartialAggState};
+pub use agg::{AggAccumulator, AggFunc, AggSpec, PartialAggState, Retraction};
 pub use batch::Batch;
 pub use column::{mixed_demotions, ColumnVec};
 pub use error::{AggViewError, Result};
@@ -51,3 +52,4 @@ pub use predicate::{CmpOp, Predicate};
 pub use schema::{Field, Schema};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};
+pub use zset::ZSet;

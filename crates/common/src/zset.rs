@@ -1,0 +1,264 @@
+//! Z-sets: weighted multisets of tuples, the delta algebra of
+//! incremental view maintenance.
+//!
+//! A [`ZSet`] maps each distinct row to a signed 64-bit weight. A batch
+//! of DML is a Z-set: INSERT contributes `+1` per row, DELETE `-1`, and
+//! UPDATE is the sum `-old ⊕ +new`. Weights compose additively under
+//! [`merge`](ZSet::merge), negate under [`negate`](ZSet::negate), and
+//! rows whose weights cancel disappear on
+//! [`consolidate`](ZSet::consolidate) — exactly the algebra that lets
+//! decomposable aggregates *retract*: merging a negative-weight partial
+//! subtracts a row's contribution instead of re-aggregating the group.
+//!
+//! The index reuses the prehashed-key machinery from [`crate::hash`]:
+//! rows are bucketed by [`hash_values`] into a [`PrehashedMap`] of
+//! candidate lists and confirmed by value comparison, so lookups never
+//! trust the 64-bit hash alone (`Int(3)` and `Float(3.0)` hash equally
+//! and must stay distinct entries when unequal — they compare equal
+//! under [`crate::Value`]'s cross-numeric equality, so they coalesce,
+//! which is the same identity the executor's grouping uses).
+
+use crate::hash::{hash_values, PrehashedMap};
+use crate::tuple::Tuple;
+use std::fmt;
+
+/// A weighted multiset of rows: each distinct tuple carries a signed
+/// multiplicity. The zero-weight invariant is *lazy*: entries may hold
+/// weight 0 between mutations; [`consolidate`](ZSet::consolidate) drops
+/// them, and the iteration/accessor API already skips them.
+#[derive(Debug, Clone, Default)]
+pub struct ZSet {
+    /// hash(row) → indexes into `entries` with that hash.
+    index: PrehashedMap<Vec<u32>>,
+    /// Distinct rows with their current weight (may be 0 until
+    /// consolidation).
+    entries: Vec<(Tuple, i64)>,
+}
+
+impl ZSet {
+    /// The empty Z-set.
+    pub fn new() -> ZSet {
+        ZSet::default()
+    }
+
+    /// A Z-set of insertions: weight `+1` per row (duplicates add up).
+    pub fn from_inserts<I: IntoIterator<Item = Tuple>>(rows: I) -> ZSet {
+        let mut z = ZSet::new();
+        for r in rows {
+            z.add(r, 1);
+        }
+        z
+    }
+
+    /// A Z-set of deletions: weight `-1` per row (duplicates add up).
+    pub fn from_deletes<I: IntoIterator<Item = Tuple>>(rows: I) -> ZSet {
+        let mut z = ZSet::new();
+        for r in rows {
+            z.add(r, -1);
+        }
+        z
+    }
+
+    /// Add `weight` to `row`'s multiplicity (saturating on overflow —
+    /// weights are DML counts, which cannot realistically reach 2^63,
+    /// and saturation keeps the algebra total without a panic path).
+    pub fn add(&mut self, row: Tuple, weight: i64) {
+        let h = hash_values(row.values());
+        let bucket = self.index.entry(h).or_default();
+        for &i in bucket.iter() {
+            let entry = &mut self.entries[i as usize];
+            if entry.0 == row {
+                entry.1 = entry.1.saturating_add(weight);
+                return;
+            }
+        }
+        bucket.push(self.entries.len() as u32);
+        self.entries.push((row, weight));
+    }
+
+    /// Current weight of `row` (0 when absent).
+    pub fn weight(&self, row: &Tuple) -> i64 {
+        let h = hash_values(row.values());
+        match self.index.get(&h) {
+            None => 0,
+            Some(bucket) => bucket
+                .iter()
+                .map(|&i| &self.entries[i as usize])
+                .find(|(r, _)| r == row)
+                .map_or(0, |&(_, w)| w),
+        }
+    }
+
+    /// Fold `other` into `self` (pointwise weight addition).
+    pub fn merge(&mut self, other: &ZSet) {
+        for (row, w) in other.iter() {
+            self.add(row.clone(), w);
+        }
+    }
+
+    /// Flip the sign of every weight (`Δ ↦ −Δ`).
+    pub fn negate(&mut self) {
+        for e in &mut self.entries {
+            e.1 = e.1.checked_neg().unwrap_or(i64::MAX);
+        }
+    }
+
+    /// Drop zero-weight entries and rebuild the index compactly.
+    pub fn consolidate(&mut self) {
+        if self.entries.iter().all(|&(_, w)| w != 0) {
+            return;
+        }
+        let entries = std::mem::take(&mut self.entries);
+        self.index.clear();
+        for (row, w) in entries {
+            if w != 0 {
+                let h = hash_values(row.values());
+                self.index
+                    .entry(h)
+                    .or_default()
+                    .push(self.entries.len() as u32);
+                self.entries.push((row, w));
+            }
+        }
+    }
+
+    /// Iterate non-zero `(row, weight)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.entries
+            .iter()
+            .filter(|&&(_, w)| w != 0)
+            .map(|(r, w)| (r, *w))
+    }
+
+    /// Number of distinct rows with non-zero weight.
+    pub fn distinct_len(&self) -> usize {
+        self.entries.iter().filter(|&&(_, w)| w != 0).count()
+    }
+
+    /// True when every weight is zero (the additive identity).
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|&(_, w)| w == 0)
+    }
+
+    /// Sum of absolute weights — the multiset cardinality of the delta,
+    /// i.e. how many physical row changes it represents.
+    pub fn total_multiplicity(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|&(_, w)| w.unsigned_abs())
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Split into plain multisets: rows with positive weight repeated
+    /// `w` times, and rows with negative weight repeated `|w|` times.
+    /// This realizes the Z-set as two relations an ordinary SPJ plan
+    /// can scan (the delta-substituted catalog technique).
+    pub fn expand(&self) -> (Vec<Tuple>, Vec<Tuple>) {
+        let mut plus = Vec::new();
+        let mut minus = Vec::new();
+        for (row, w) in self.iter() {
+            let (dst, n) = if w > 0 {
+                (&mut plus, w.unsigned_abs())
+            } else {
+                (&mut minus, w.unsigned_abs())
+            };
+            for _ in 0..n {
+                dst.push(row.clone());
+            }
+        }
+        (plus, minus)
+    }
+}
+
+impl fmt::Display for ZSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (row, w)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{row}×{w:+}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn inserts_then_deletes_cancel() {
+        let mut z = ZSet::from_inserts([tuple![1i64, "a"], tuple![2i64, "b"]]);
+        z.merge(&ZSet::from_deletes([tuple![1i64, "a"]]));
+        assert_eq!(z.weight(&tuple![1i64, "a"]), 0);
+        assert_eq!(z.weight(&tuple![2i64, "b"]), 1);
+        assert_eq!(z.distinct_len(), 1);
+        z.consolidate();
+        assert_eq!(z.iter().count(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn duplicates_accumulate_weight() {
+        let mut z = ZSet::new();
+        z.add(tuple![7i64], 1);
+        z.add(tuple![7i64], 1);
+        z.add(tuple![7i64], -3);
+        assert_eq!(z.weight(&tuple![7i64]), -1);
+        assert_eq!(z.total_multiplicity(), 1);
+    }
+
+    #[test]
+    fn negate_flips_all_weights() {
+        let mut z = ZSet::from_inserts([tuple![1i64], tuple![1i64], tuple![2i64]]);
+        z.negate();
+        assert_eq!(z.weight(&tuple![1i64]), -2);
+        assert_eq!(z.weight(&tuple![2i64]), -1);
+    }
+
+    #[test]
+    fn expand_realizes_multiplicities() {
+        let mut z = ZSet::new();
+        z.add(tuple![1i64], 2);
+        z.add(tuple![2i64], -1);
+        z.add(tuple![3i64], 0);
+        let (plus, minus) = z.expand();
+        assert_eq!(plus, vec![tuple![1i64], tuple![1i64]]);
+        assert_eq!(minus, vec![tuple![2i64]]);
+    }
+
+    #[test]
+    fn cross_numeric_rows_coalesce_like_grouping() {
+        // Int(3) == Float(3.0) under Value equality, so they are one
+        // entry — the same identity hash aggregation uses.
+        let mut z = ZSet::new();
+        z.add(tuple![3i64], 1);
+        z.add(tuple![3.0f64], 1);
+        assert_eq!(z.distinct_len(), 1);
+        assert_eq!(z.weight(&tuple![3i64]), 2);
+    }
+
+    #[test]
+    fn empty_zset_is_identity() {
+        let mut z = ZSet::new();
+        assert!(z.is_empty());
+        z.add(tuple![1i64], 1);
+        z.add(tuple![1i64], -1);
+        assert!(z.is_empty());
+        z.consolidate();
+        assert_eq!(z.iter().count(), 0);
+        assert_eq!(z.total_multiplicity(), 0);
+    }
+
+    #[test]
+    fn display_shows_signed_weights() {
+        let mut z = ZSet::new();
+        z.add(tuple![1i64], 2);
+        z.add(tuple![2i64], -1);
+        let s = z.to_string();
+        assert!(s.contains("+2"), "{s}");
+        assert!(s.contains("-1"), "{s}");
+    }
+}

@@ -1,0 +1,836 @@
+//! Z-set delta maintenance of materialized aggregate-view extents.
+//!
+//! [`crate::matview::apply_delta`] handles insert-only deltas: fold the
+//! new rows through the view's SPJ plan and coalesce the resulting
+//! partial states into the extent. This module generalizes maintenance
+//! to **signed** deltas ([`aggview_common::ZSet`]: row → weight, with
+//! UPDATE = `-old ⊕ +new` and DELETE = `-row`):
+//!
+//! 1. **Admission** — same preconditions as the insert path (the view
+//!    references the modified table exactly once, every aggregate
+//!    stores partial state, the recorded base versions are exactly one
+//!    mutation behind on the modified table and current elsewhere);
+//!    anything else falls back to a full rebuild.
+//! 2. **Delta propagation** — the Z-set expands into a *plus* and a
+//!    *minus* multiset; each is run through the view's SPJ plan over a
+//!    delta-substituted catalog (the modified table replaced by the
+//!    delta rows, other base tables joined as-is — sound because the
+//!    modified table occurs once, so `Δ(R ⋈ S) = ΔR ⋈ S`).
+//! 3. **Merge and retraction** — plus groups coalesce in through
+//!    [`GroupTable::merge_from`]; minus groups *retract* via
+//!    [`aggview_common::PartialAggState::retract_components`].
+//!    COUNT/SUM/AVG subtract exactly; MIN/MAX retracting a non-extremum
+//!    are exact, retracting the stored extremum reports
+//!    [`Retraction::NeedsRecompute`]. Impossible retractions (evidence
+//!    of drift) abandon the incremental path and rebuild.
+//! 4. **Group recompute & deletion** — groups needing recompute (MIN/MAX
+//!    extremum retraction, or any retraction in a view with no COUNT/AVG
+//!    aggregate to witness emptiness) are re-aggregated from one
+//!    governed run of the view's SPJ plan, filtered to exactly those
+//!    group keys; groups whose count component reaches zero — or that
+//!    the recompute finds no rows for — are deleted from the extent.
+//!
+//! The module also exposes the base-table → dependent-view
+//! [`DependencyGraph`] (REPL `.deps`), and the [`maintain_after_dml`]
+//! round driver, which publishes each maintained view's consolidated
+//! visible-projection delta to an optional [`SubscriptionHub`].
+
+use crate::engine::Engine;
+use crate::matview;
+use crate::parallel::ExecOptions;
+use crate::partition::{AggInput, GroupTable};
+use crate::subscribe::SubscriptionHub;
+use aggview_common::{AggFunc, AggViewError, Result, Retraction, Tuple, ZSet};
+use aggview_core::cost::CostModel;
+use aggview_core::governor::ResourceGovernor;
+use aggview_core::query::QueryEnv;
+use aggview_storage::{stores_partial_state, Catalog, MatViewMeta, Table};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// Which base tables feed which materialized views.
+///
+/// Views depend only on base tables (view bodies are self-contained
+/// SPJ-plus-group-by — never other views), so invalidation order is
+/// single level: a base-table mutation dirties exactly its dependent
+/// views, which are maintained in registration (name) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependencyGraph {
+    /// `table → sorted dependent view names`, sorted by table.
+    pub edges: Vec<(String, Vec<String>)>,
+}
+
+impl DependencyGraph {
+    /// Views that must be maintained when `table` changes.
+    pub fn views_on(&self, table: &str) -> &[String] {
+        let key = table.to_ascii_lowercase();
+        self.edges
+            .iter()
+            .find(|(t, _)| *t == key)
+            .map_or(&[], |(_, v)| v.as_slice())
+    }
+
+    /// Render as indented text (REPL `.deps`).
+    pub fn render(&self) -> String {
+        if self.edges.is_empty() {
+            return "no materialized views registered\n".to_string();
+        }
+        let mut out = String::new();
+        for (table, views) in &self.edges {
+            out.push_str(table);
+            out.push('\n');
+            for v in views {
+                out.push_str("  └─ ");
+                out.push_str(v);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Build the dependency graph from the catalog's registered views.
+pub fn dependency_graph(catalog: &Catalog) -> DependencyGraph {
+    let mut map: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for name in catalog.matview_names() {
+        if let Some(meta) = catalog.matview(&name) {
+            for t in &meta.def.tables {
+                map.entry(t.to_ascii_lowercase())
+                    .or_default()
+                    .push(meta.def.name.clone());
+            }
+        }
+    }
+    for views in map.values_mut() {
+        views.sort();
+        views.dedup();
+    }
+    DependencyGraph {
+        edges: map.into_iter().collect(),
+    }
+}
+
+/// Maintain every registered view that references `table` after the
+/// Z-set `delta` has been applied to the base table: retractable
+/// incremental maintenance where admissible, full rebuild otherwise.
+/// When a [`SubscriptionHub`] is supplied, each maintained view's
+/// consolidated visible-projection delta is published as one round.
+/// Returns the names of the views maintained.
+pub fn maintain_after_dml(
+    table: &str,
+    delta: &ZSet,
+    catalog: &Catalog,
+    model: CostModel,
+    options: ExecOptions,
+    gov: &ResourceGovernor,
+    hub: Option<&SubscriptionHub>,
+) -> Result<Vec<String>> {
+    let mut maintained = Vec::new();
+    for meta in catalog.matviews_on(table) {
+        let name = meta.def.name.clone();
+        let watched = hub.is_some_and(|h| h.has_subscribers(&name));
+        let before = if watched {
+            extent_rows(catalog, &meta)
+        } else {
+            Vec::new()
+        };
+        if !apply_zset_delta(&name, table, delta, catalog, model, options, gov)? {
+            matview::build_extent(&meta.def, catalog, model, options, gov)?;
+        }
+        if watched {
+            if let Some(h) = hub {
+                let after = extent_rows(catalog, &meta);
+                h.publish_diff(&name, &meta.layout, &before, &after);
+            }
+        }
+        maintained.push(name);
+    }
+    Ok(maintained)
+}
+
+/// The view's current extent rows ([] when the extent table is absent,
+/// e.g. quarantined after a crash).
+fn extent_rows(catalog: &Catalog, meta: &MatViewMeta) -> Vec<Tuple> {
+    catalog
+        .get(&meta.extent)
+        .map(|t| t.rows().to_vec())
+        .unwrap_or_default()
+}
+
+/// Incrementally fold a signed delta on base `table` into the extent of
+/// `view`. Returns `Ok(false)` — extent untouched — when the view is
+/// inadmissible for incremental maintenance or the delta's evidence
+/// contradicts the stored state (either way the caller rebuilds);
+/// `Ok(true)` when the extent now reflects the delta and its recorded
+/// versions are current.
+pub fn apply_zset_delta(
+    view: &str,
+    table: &str,
+    delta: &ZSet,
+    catalog: &Catalog,
+    model: CostModel,
+    options: ExecOptions,
+    gov: &ResourceGovernor,
+) -> Result<bool> {
+    let mut meta = catalog
+        .matview(view)
+        .ok_or_else(|| AggViewError::Catalog(format!("unknown materialized view `{view}`")))?;
+    let def = meta.def.clone();
+    let occurrences = def
+        .tables
+        .iter()
+        .filter(|t| t.eq_ignore_ascii_case(table))
+        .count();
+    if occurrences != 1 || !def.aggs.iter().all(|a| stores_partial_state(a.func)) {
+        return Ok(false);
+    }
+
+    // Version gate, as in the insert path: the extent absorbs exactly
+    // this delta only if the modified table is one version past the
+    // recorded build and every other base is unchanged. A DML statement
+    // that matched no rows bumps nothing — then the extent is already
+    // current and there is nothing to fold.
+    let versions: Vec<u64> = def.tables.iter().map(|t| catalog.data_version(t)).collect();
+    let recorded = &meta.base_versions;
+    let untouched = recorded.iter().zip(&versions).all(|(&r, &c)| c == r);
+    if delta.is_empty() && untouched {
+        return Ok(true);
+    }
+    let in_sync =
+        def.tables
+            .iter()
+            .zip(recorded)
+            .zip(&versions)
+            .all(|((name, &recorded), &current)| {
+                if name.eq_ignore_ascii_case(table) {
+                    current == recorded + 1
+                } else {
+                    current == recorded
+                }
+            });
+    if !in_sync {
+        return Ok(false);
+    }
+    if delta.is_empty() {
+        // The table was rebuilt but its multiset is unchanged (e.g. an
+        // UPDATE to identical values): restamp, nothing to fold.
+        meta.base_versions = versions;
+        catalog.update_matview(meta)?;
+        return Ok(true);
+    }
+
+    // Propagate the delta through the view's SPJ body: the plus and
+    // minus expansions each run the plan over a delta-substituted
+    // catalog and fold to per-group partial states.
+    let (plus, minus) = delta.expand();
+    let plus_gt = delta_fold(&def, table, &plus, catalog, model, options, gov)?;
+    let minus_gt = delta_fold(&def, table, &minus, catalog, model, options, gov)?;
+
+    // Reconstruct the extent's group table from its stored states.
+    let extent = catalog.get(&meta.extent)?;
+    let key_pos: Vec<usize> = (0..meta.layout.key_cols).collect();
+    let inputs: Vec<AggInput> = meta
+        .layout
+        .aggs
+        .iter()
+        .map(|a| AggInput::Partial(a.components.clone()))
+        .collect();
+    let funcs: Vec<AggFunc> = def.aggs.iter().map(|a| a.func).collect();
+    let mut gt = GroupTable::new();
+    for r in extent.rows() {
+        gov.charge_rows(1)?;
+        gt.accumulate(r, &key_pos, &inputs, &funcs)?;
+    }
+    gt.merge_from(plus_gt)?;
+
+    // Retract the minus groups. A COUNT or AVG aggregate witnesses group
+    // emptiness through its count component; without one, every group
+    // the minus side touches must be recomputed to learn whether it
+    // still exists.
+    let count_src = funcs
+        .iter()
+        .position(|f| matches!(f, AggFunc::Count | AggFunc::Avg));
+    let mut recompute: HashSet<Tuple> = HashSet::new();
+    let mut touched: Vec<usize> = Vec::new();
+    for g in minus_gt.groups {
+        gov.charge_rows(1)?;
+        let Some(slot) = gt.find(&g.key) else {
+            // Retracting from a group the extent never had: the delta
+            // contradicts the stored state — rebuild.
+            return Ok(false);
+        };
+        let mut needs_recompute = count_src.is_none();
+        let states = &mut gt.groups[slot].states;
+        for (mine, theirs) in states.iter_mut().zip(&g.states) {
+            match mine.retract_components(theirs.components()) {
+                Ok(Retraction::Retracted) => {}
+                Ok(Retraction::NeedsRecompute) => needs_recompute = true,
+                // Impossible retraction (below zero, beyond extremum):
+                // stored state and delta disagree — rebuild.
+                Err(_) => return Ok(false),
+            }
+        }
+        if needs_recompute {
+            recompute.insert(gt.groups[slot].key.clone());
+        }
+        touched.push(slot);
+    }
+
+    // Delete groups whose count component reached zero; groups without a
+    // count witness are already queued for recompute.
+    let mut dead: HashSet<usize> = HashSet::new();
+    if let Some(ci) = count_src {
+        for &slot in &touched {
+            if recompute.contains(&gt.groups[slot].key) {
+                continue;
+            }
+            match gt.groups[slot].states[ci].count_component() {
+                Some(0) => {
+                    dead.insert(slot);
+                }
+                Some(_) => {}
+                None => {
+                    recompute.insert(gt.groups[slot].key.clone());
+                }
+            }
+        }
+    }
+
+    // Targeted recompute: one governed run of the view's SPJ plan over
+    // the *current* base tables, folded only for the queued group keys.
+    // Keys the recompute finds no rows for are dead groups.
+    if !recompute.is_empty() {
+        let rgt = refold_keys(&def, catalog, &recompute, model, options, gov)?;
+        let mut fresh: BTreeMap<Tuple, Vec<aggview_common::PartialAggState>> =
+            rgt.groups.into_iter().map(|g| (g.key, g.states)).collect();
+        for key in &recompute {
+            let Some(slot) = gt.find(key) else {
+                // Recompute keys were drawn from `gt` above.
+                return Err(AggViewError::Exec(format!(
+                    "maintenance lost track of group {key} in view `{view}`"
+                )));
+            };
+            match fresh.remove(key) {
+                Some(states) => gt.groups[slot].states = states,
+                None => {
+                    dead.insert(slot);
+                }
+            }
+        }
+    }
+
+    // Emit the surviving groups as extent rows and swap the extent in.
+    let mut rows = Vec::with_capacity(gt.len().saturating_sub(dead.len()));
+    for (slot, g) in gt.groups.into_iter().enumerate() {
+        if dead.contains(&slot) {
+            continue;
+        }
+        let mut vals = g.key.into_values();
+        for (s, a) in g.states.iter().zip(&def.aggs) {
+            vals.push(s.finalize()?);
+            if stores_partial_state(a.func) {
+                vals.extend(s.components().iter().cloned());
+            }
+        }
+        let row = Tuple::new(vals);
+        gov.charge_output(1, row.width() as u64)?;
+        rows.push(row);
+    }
+    let rebuilt = matview::materialize(&def, catalog, rows)?;
+    catalog.add_or_replace(rebuilt)?;
+    // Stamp the versions verified above, not a re-read (a concurrent
+    // mutation between the gate and here must leave the extent stale).
+    meta.base_versions = versions;
+    catalog.update_matview(meta)?;
+    Ok(true)
+}
+
+/// Run the view's SPJ plan with the modified table's rows replaced by
+/// `rows` (every other base table joined as-is) and fold the result to
+/// per-group partial states.
+fn delta_fold(
+    def: &aggview_storage::MatViewDef,
+    table: &str,
+    rows: &[Tuple],
+    catalog: &Catalog,
+    model: CostModel,
+    options: ExecOptions,
+    gov: &ResourceGovernor,
+) -> Result<GroupTable> {
+    if rows.is_empty() {
+        return Ok(GroupTable::new());
+    }
+    let base = catalog.get(table)?;
+    let mut builder = Table::builder(base.name(), base.schema().clone());
+    for r in rows {
+        builder.push(r.clone())?;
+    }
+    let delta_table = builder.build()?;
+    let tmp = Catalog::new();
+    for name in &def.tables {
+        if name.eq_ignore_ascii_case(table) {
+            tmp.add_or_replace(Arc::clone(&delta_table))?;
+        } else {
+            tmp.add_or_replace(catalog.get(name)?)?;
+        }
+    }
+    let plan = matview::spj_plan(def, &tmp)?;
+    let env = QueryEnv::new(def.tables.clone());
+    let engine = Engine::new(&tmp, &env, model).with_options(options);
+    let rs = engine.execute_governed(&plan, gov, None)?;
+    matview::fold(def, &rs)
+}
+
+/// Re-aggregate exactly the groups in `keys` from the current base
+/// tables: one governed run of the view's full SPJ plan whose rows are
+/// folded only when their group-key projection is queued.
+fn refold_keys(
+    def: &aggview_storage::MatViewDef,
+    catalog: &Catalog,
+    keys: &HashSet<Tuple>,
+    model: CostModel,
+    options: ExecOptions,
+    gov: &ResourceGovernor,
+) -> Result<GroupTable> {
+    let plan = matview::spj_plan(def, catalog)?;
+    let env = QueryEnv::new(def.tables.clone());
+    let engine = Engine::new(catalog, &env, model).with_options(options);
+    let rs = engine.execute_governed(&plan, gov, None)?;
+    let key_pos: Vec<usize> = def
+        .group_cols
+        .iter()
+        .map(|&c| {
+            rs.col_index(c).ok_or_else(|| {
+                AggViewError::Exec(format!(
+                    "grouping column {c} missing from the view's result"
+                ))
+            })
+        })
+        .collect::<Result<_>>()?;
+    let mut inputs = Vec::with_capacity(def.aggs.len());
+    for a in &def.aggs {
+        match &a.arg {
+            Some(e) => inputs.push(AggInput::Raw(e.bind(&|c| rs.col_index(c))?)),
+            None => inputs.push(AggInput::RawCountStar),
+        }
+    }
+    let funcs: Vec<AggFunc> = def.aggs.iter().map(|a| a.func).collect();
+    let mut gt = GroupTable::new();
+    for r in &rs.rows {
+        if !keys.contains(&r.project(&key_pos)) {
+            continue;
+        }
+        gt.accumulate(r, &key_pos, &inputs, &funcs)?;
+    }
+    Ok(gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggview_common::{AggSpec, CmpOp, Col, DataType, Expr, Predicate, RelId, Schema, Value};
+    use aggview_storage::MatViewDef;
+
+    /// A small emp/dept catalog with **binary-exact** salaries
+    /// (multiples of 12.5): float SUM/AVG retraction is then exact
+    /// arithmetic, so incremental maintenance must be byte-identical to
+    /// a refresh. 5 departments × 8 employees; even slots are young
+    /// (age < 30).
+    fn setup() -> Catalog {
+        let cat = Catalog::new();
+        let mut e = Table::builder(
+            "emp",
+            Schema::of(&[
+                ("eno", DataType::Int),
+                ("name", DataType::Str),
+                ("dno", DataType::Int),
+                ("sal", DataType::Float),
+                ("age", DataType::Int),
+            ]),
+        )
+        .primary_key(&["eno"])
+        .unwrap();
+        let mut eno = 0i64;
+        for dno in 0..5i64 {
+            for k in 0..8i64 {
+                let sal = 1000.0 + (dno * 8 + k) as f64 * 12.5;
+                let age = if k % 2 == 0 { 22 + k } else { 31 + k };
+                e.push(emp(eno, dno, sal, age)).unwrap();
+                eno += 1;
+            }
+        }
+        cat.add(e.build().unwrap()).unwrap();
+        let mut d = Table::builder(
+            "dept",
+            Schema::of(&[
+                ("dno", DataType::Int),
+                ("dname", DataType::Str),
+                ("budget", DataType::Float),
+            ]),
+        )
+        .primary_key(&["dno"])
+        .unwrap();
+        for dno in 0..5i64 {
+            d.push(Tuple::new(vec![
+                Value::Int(dno),
+                Value::Str(format!("d{dno}").into()),
+                Value::Float(1000.0 * (dno + 1) as f64),
+            ]))
+            .unwrap();
+        }
+        cat.add(d.build().unwrap()).unwrap();
+        cat
+    }
+
+    fn exec_env() -> (CostModel, ExecOptions, ResourceGovernor) {
+        (
+            CostModel::default(),
+            ExecOptions::default(),
+            ResourceGovernor::unlimited(),
+        )
+    }
+
+    /// SELECT dno, SUM(sal), COUNT(*) FROM emp GROUP BY dno —
+    /// emp(eno, name, dno, sal, age).
+    fn sum_count_view(name: &str) -> MatViewDef {
+        MatViewDef {
+            name: name.into(),
+            tables: vec!["emp".into()],
+            preds: vec![],
+            group_cols: vec![Col::base(RelId(0), 2)],
+            aggs: vec![
+                AggSpec::new(AggFunc::Sum, Expr::col(Col::base(RelId(0), 3))),
+                AggSpec::count_star(),
+            ],
+            column_names: vec!["dno".into(), "ssal".into(), "n".into()],
+        }
+    }
+
+    /// SELECT dno, MIN(sal), COUNT(*) FROM emp GROUP BY dno.
+    fn min_view(name: &str) -> MatViewDef {
+        MatViewDef {
+            name: name.into(),
+            tables: vec!["emp".into()],
+            preds: vec![],
+            group_cols: vec![Col::base(RelId(0), 2)],
+            aggs: vec![
+                AggSpec::new(AggFunc::Min, Expr::col(Col::base(RelId(0), 3))),
+                AggSpec::count_star(),
+            ],
+            column_names: vec!["dno".into(), "msal".into(), "n".into()],
+        }
+    }
+
+    fn emp(eno: i64, dno: i64, sal: f64, age: i64) -> Tuple {
+        Tuple::new(vec![
+            Value::Int(eno),
+            Value::Str(format!("e{eno}").into()),
+            Value::Int(dno),
+            Value::Float(sal),
+            Value::Int(age),
+        ])
+    }
+
+    fn extent_sorted(cat: &Catalog, view: &str) -> Vec<Tuple> {
+        let meta = cat.matview(view).unwrap();
+        let mut rows = cat.get(&meta.extent).unwrap().rows().to_vec();
+        rows.sort();
+        rows
+    }
+
+    /// Refresh must agree with whatever incremental maintenance left.
+    fn assert_matches_refresh(cat: &Catalog, view: &str) {
+        let (model, opts, gov) = exec_env();
+        let incremental = extent_sorted(cat, view);
+        matview::refresh(view, cat, model, opts, &gov).unwrap();
+        assert_eq!(incremental, extent_sorted(cat, view), "view `{view}`");
+    }
+
+    #[test]
+    fn delete_retracts_sum_and_count() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        matview::build_extent(&sum_count_view("v"), &cat, model, opts, &gov).unwrap();
+        let victims = cat.delete_rows("emp", &[0, 3, 17]).unwrap();
+        let delta = ZSet::from_deletes(victims);
+        assert!(
+            apply_zset_delta("v", "emp", &delta, &cat, model, opts, &gov).unwrap(),
+            "pure COUNT/SUM deletes are exactly retractable"
+        );
+        assert!(!cat.matview("v").unwrap().is_stale(&cat));
+        assert_matches_refresh(&cat, "v");
+    }
+
+    #[test]
+    fn update_moves_rows_between_groups() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        matview::build_extent(&sum_count_view("v"), &cat, model, opts, &gov).unwrap();
+        // Move emp row 1 to another department with a new salary.
+        let old = cat.get("emp").unwrap().rows()[1].clone();
+        let mut vals = old.values().to_vec();
+        vals[2] = Value::Int(4);
+        vals[3] = Value::Float(4321.0);
+        let new = Tuple::new(vals);
+        cat.update_rows("emp", &[1], vec![new.clone()]).unwrap();
+        let mut delta = ZSet::new();
+        delta.add(old, -1);
+        delta.add(new, 1);
+        assert!(apply_zset_delta("v", "emp", &delta, &cat, model, opts, &gov).unwrap());
+        assert_matches_refresh(&cat, "v");
+    }
+
+    #[test]
+    fn deleting_a_whole_group_removes_its_extent_row() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        matview::build_extent(&sum_count_view("v"), &cat, model, opts, &gov).unwrap();
+        // Delete every employee of dept 2.
+        let rows = cat.get("emp").unwrap().rows().to_vec();
+        let indices: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.get(2) == &Value::Int(2))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!indices.is_empty());
+        let victims = cat.delete_rows("emp", &indices).unwrap();
+        let delta = ZSet::from_deletes(victims);
+        assert!(apply_zset_delta("v", "emp", &delta, &cat, model, opts, &gov).unwrap());
+        let extent = extent_sorted(&cat, "v");
+        assert!(
+            extent.iter().all(|r| r.get(0) != &Value::Int(2)),
+            "emptied group must disappear: {extent:?}"
+        );
+        assert_matches_refresh(&cat, "v");
+    }
+
+    #[test]
+    fn min_retraction_recomputes_only_on_extremum() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        matview::build_extent(&min_view("m"), &cat, model, opts, &gov).unwrap();
+        // Find dept 0's minimum-salary employee and delete them: the
+        // stored MIN must be recomputed, and must agree with refresh.
+        let rows = cat.get("emp").unwrap().rows().to_vec();
+        let (idx, _) = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.get(2) == &Value::Int(0))
+            .min_by(|(_, a), (_, b)| a.get(3).cmp(b.get(3)))
+            .unwrap();
+        let victims = cat.delete_rows("emp", &[idx]).unwrap();
+        let delta = ZSet::from_deletes(victims);
+        assert!(apply_zset_delta("m", "emp", &delta, &cat, model, opts, &gov).unwrap());
+        assert_matches_refresh(&cat, "m");
+
+        // Deleting a non-extremum row is exact (no recompute needed,
+        // same outcome either way).
+        let rows = cat.get("emp").unwrap().rows().to_vec();
+        let (idx, _) = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.get(2) == &Value::Int(1))
+            .max_by(|(_, a), (_, b)| a.get(3).cmp(b.get(3)))
+            .unwrap();
+        let victims = cat.delete_rows("emp", &[idx]).unwrap();
+        let delta = ZSet::from_deletes(victims);
+        assert!(apply_zset_delta("m", "emp", &delta, &cat, model, opts, &gov).unwrap());
+        assert_matches_refresh(&cat, "m");
+    }
+
+    #[test]
+    fn filtered_join_view_maintains_through_dml() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        // SELECT e.dno, AVG(sal) FROM emp e, dept d
+        //  WHERE e.dno = d.dno AND e.age < 30 GROUP BY e.dno
+        let def = MatViewDef {
+            name: "jv".into(),
+            tables: vec!["emp".into(), "dept".into()],
+            preds: vec![
+                Predicate::eq_cols(Col::base(RelId(0), 2), Col::base(RelId(1), 0)),
+                Predicate::cmp_const(Col::base(RelId(0), 4), CmpOp::Lt, Value::Int(30)),
+            ],
+            group_cols: vec![Col::base(RelId(0), 2)],
+            aggs: vec![AggSpec::new(
+                AggFunc::Avg,
+                Expr::col(Col::base(RelId(0), 3)),
+            )],
+            column_names: vec!["dno".into(), "asal".into()],
+        };
+        matview::build_extent(&def, &cat, model, opts, &gov).unwrap();
+        // A mixed round: delete one young employee, update another.
+        let rows = cat.get("emp").unwrap().rows().to_vec();
+        let young: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.get(4).as_i64().unwrap() < 30)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(young.len() >= 2);
+        let victims = cat.delete_rows("emp", &[young[0]]).unwrap();
+        let delta = ZSet::from_deletes(victims);
+        assert!(
+            maintain_after_dml("emp", &delta, &cat, model, opts, &gov, None)
+                .unwrap()
+                .contains(&"jv".to_string())
+        );
+        assert_matches_refresh(&cat, "jv");
+    }
+
+    #[test]
+    fn no_op_dml_restamps_without_work() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        matview::build_extent(&sum_count_view("v"), &cat, model, opts, &gov).unwrap();
+        // Empty delta over untouched bases: trivially fresh.
+        assert!(apply_zset_delta("v", "emp", &ZSet::new(), &cat, model, opts, &gov).unwrap());
+        // Update a row to identical values: version bumps, delta cancels
+        // to empty, and the extent is restamped fresh without a fold.
+        let row = cat.get("emp").unwrap().rows()[0].clone();
+        cat.update_rows("emp", &[0], vec![row.clone()]).unwrap();
+        let mut delta = ZSet::new();
+        delta.add(row.clone(), -1);
+        delta.add(row, 1);
+        delta.consolidate();
+        assert!(delta.is_empty());
+        assert!(apply_zset_delta("v", "emp", &delta, &cat, model, opts, &gov).unwrap());
+        assert!(!cat.matview("v").unwrap().is_stale(&cat));
+        assert_matches_refresh(&cat, "v");
+    }
+
+    #[test]
+    fn contradictory_delta_falls_back_to_rebuild() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        matview::build_extent(&sum_count_view("v"), &cat, model, opts, &gov).unwrap();
+        // Retract a row from a department that does not exist: the
+        // incremental path must refuse (and report false) rather than
+        // fabricate a negative group.
+        cat.mark_modified("emp").unwrap();
+        let delta = ZSet::from_deletes([emp(9999, 77, 100.0, 20)]);
+        assert!(!apply_zset_delta("v", "emp", &delta, &cat, model, opts, &gov).unwrap());
+        // maintain_after_dml rebuilds on the fallback.
+        let names = maintain_after_dml("emp", &delta, &cat, model, opts, &gov, None).unwrap();
+        assert_eq!(names, vec!["v".to_string()]);
+        assert!(!cat.matview("v").unwrap().is_stale(&cat));
+    }
+
+    #[test]
+    fn version_drift_refuses_incremental() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        matview::build_extent(&sum_count_view("v"), &cat, model, opts, &gov).unwrap();
+        // Two mutations since the build: the single delta cannot cover
+        // both.
+        cat.mark_modified("emp").unwrap();
+        let victims = cat.delete_rows("emp", &[0]).unwrap();
+        let delta = ZSet::from_deletes(victims);
+        assert!(!apply_zset_delta("v", "emp", &delta, &cat, model, opts, &gov).unwrap());
+        assert!(cat.matview("v").unwrap().is_stale(&cat));
+    }
+
+    #[test]
+    fn budget_abort_leaves_extent_stale_not_torn() {
+        let cat = setup();
+        let (model, opts, _) = exec_env();
+        let gov = ResourceGovernor::unlimited();
+        matview::build_extent(&sum_count_view("v"), &cat, model, opts, &gov).unwrap();
+        let before = extent_sorted(&cat, "v");
+        let victims = cat.delete_rows("emp", &[0]).unwrap();
+        let delta = ZSet::from_deletes(victims);
+        // A governor too tight for even the extent reconstruction:
+        // maintenance must abort with a structured error...
+        let tight = ResourceGovernor::new(
+            aggview_core::governor::ResourceLimits::unlimited().with_max_rows(2),
+        );
+        let err = apply_zset_delta("v", "emp", &delta, &cat, model, opts, &tight).unwrap_err();
+        assert_eq!(err.kind(), "resource-exhausted");
+        // ...leaving the old extent bytes intact and the view stale —
+        // never a half-merged extent stamped fresh.
+        assert_eq!(extent_sorted(&cat, "v"), before);
+        assert!(cat.matview("v").unwrap().is_stale(&cat));
+        // A later unbudgeted round repairs it.
+        let gov = ResourceGovernor::unlimited();
+        let names = maintain_after_dml("emp", &delta, &cat, model, opts, &gov, None).unwrap();
+        assert_eq!(names, vec!["v".to_string()]);
+        assert!(!cat.matview("v").unwrap().is_stale(&cat));
+        assert_matches_refresh(&cat, "v");
+    }
+
+    #[test]
+    fn rounds_publish_consolidated_events_to_subscribers() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        matview::build_extent(&sum_count_view("v"), &cat, model, opts, &gov).unwrap();
+        let hub = SubscriptionHub::new();
+        hub.subscribe("watcher", "v");
+        // Delete all of dept 3 (a Deleted event) and one row of dept 0
+        // (an Updated event) in a single round.
+        let rows = cat.get("emp").unwrap().rows().to_vec();
+        let mut indices: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.get(2) == &Value::Int(3))
+            .map(|(i, _)| i)
+            .collect();
+        indices.push(
+            rows.iter()
+                .enumerate()
+                .find(|(i, r)| r.get(2) == &Value::Int(0) && !indices.contains(i))
+                .map(|(i, _)| i)
+                .unwrap(),
+        );
+        indices.sort();
+        let victims = cat.delete_rows("emp", &indices).unwrap();
+        let delta = ZSet::from_deletes(victims);
+        maintain_after_dml("emp", &delta, &cat, model, opts, &gov, Some(&hub)).unwrap();
+        let events = hub.drain("watcher");
+        use crate::subscribe::ViewEvent;
+        assert!(
+            events.iter().any(
+                |e| matches!(e, ViewEvent::Deleted { row, .. } if row.get(0) == &Value::Int(3))
+            ),
+            "{events:?}"
+        );
+        assert!(
+            events.iter().any(
+                |e| matches!(e, ViewEvent::Updated { new, .. } if new.get(0) == &Value::Int(0))
+            ),
+            "{events:?}"
+        );
+        assert_eq!(events.len(), 2, "consolidated: exactly one event per group");
+    }
+
+    #[test]
+    fn dependency_graph_maps_tables_to_views() {
+        let cat = setup();
+        let (model, opts, gov) = exec_env();
+        matview::build_extent(&sum_count_view("a"), &cat, model, opts, &gov).unwrap();
+        let def = MatViewDef {
+            name: "b".into(),
+            tables: vec!["emp".into(), "dept".into()],
+            preds: vec![Predicate::eq_cols(
+                Col::base(RelId(0), 2),
+                Col::base(RelId(1), 0),
+            )],
+            group_cols: vec![Col::base(RelId(0), 2)],
+            aggs: vec![AggSpec::count_star()],
+            column_names: vec!["dno".into(), "n".into()],
+        };
+        matview::build_extent(&def, &cat, model, opts, &gov).unwrap();
+        let g = dependency_graph(&cat);
+        assert_eq!(g.views_on("emp"), &["a".to_string(), "b".to_string()]);
+        assert_eq!(g.views_on("EMP"), g.views_on("emp"));
+        assert_eq!(g.views_on("dept"), &["b".to_string()]);
+        assert!(g.views_on("nosuch").is_empty());
+        let text = g.render();
+        assert!(text.contains("emp"), "{text}");
+        assert!(text.contains("└─ b"), "{text}");
+        assert_eq!(
+            dependency_graph(&Catalog::new()).render(),
+            "no materialized views registered\n"
+        );
+    }
+}

@@ -34,13 +34,17 @@
 #![forbid(unsafe_code)]
 
 pub mod correlated;
+pub mod delta;
 pub mod engine;
 pub mod matview;
 pub mod parallel;
 pub mod partition;
+pub mod subscribe;
 pub mod vector;
 pub mod verify;
 
+pub use delta::{dependency_graph, DependencyGraph};
 pub use engine::{Engine, IoBreakdown, ResultSet};
 pub use parallel::{ExecMode, ExecOptions};
+pub use subscribe::{SubscriptionHub, ViewEvent};
 pub use verify::{assert_equivalent, canonical_rows};

@@ -199,6 +199,11 @@ pub fn apply_delta(
 /// insert of `delta` rows (already applied to the base table):
 /// incremental merge where possible, full rebuild otherwise. Returns
 /// the names of the views maintained.
+///
+/// Thin wrapper over [`crate::delta::maintain_after_dml`] with the
+/// insert-only Z-set `{row × +1, ...}` — the general path charges
+/// maintenance work (extent reconstruction, merged output) against the
+/// governor, which this entry point historically did not.
 pub fn maintain_after_insert(
     table: &str,
     delta: &[Tuple],
@@ -207,15 +212,8 @@ pub fn maintain_after_insert(
     options: ExecOptions,
     gov: &ResourceGovernor,
 ) -> Result<Vec<String>> {
-    let mut maintained = Vec::new();
-    for meta in catalog.matviews_on(table) {
-        let name = meta.def.name.clone();
-        if !apply_delta(&name, table, delta, catalog, model, options, gov)? {
-            build_extent(&meta.def, catalog, model, options, gov)?;
-        }
-        maintained.push(name);
-    }
-    Ok(maintained)
+    let zset = aggview_common::ZSet::from_inserts(delta.iter().cloned());
+    crate::delta::maintain_after_dml(table, &zset, catalog, model, options, gov, None)
 }
 
 /// Re-verify every materialized view after crash recovery, quarantining
@@ -235,7 +233,7 @@ pub fn reverify_on_recovery(catalog: &Catalog) -> Vec<String> {
 /// (single-relation predicates pushed down as filters), left-deep joins
 /// in declaration order, each multi-relation predicate attached to the
 /// first join where it becomes evaluable.
-fn spj_plan(def: &MatViewDef, catalog: &Catalog) -> Result<Plan> {
+pub(crate) fn spj_plan(def: &MatViewDef, catalog: &Catalog) -> Result<Plan> {
     let arities: Vec<usize> = def
         .tables
         .iter()
@@ -295,7 +293,7 @@ fn spj_plan(def: &MatViewDef, catalog: &Catalog) -> Result<Plan> {
 
 /// Fold the SPJ result into a [`GroupTable`] keyed on the view's
 /// grouping columns, with one raw-input aggregate state per aggregate.
-fn fold(def: &MatViewDef, rs: &ResultSet) -> Result<GroupTable> {
+pub(crate) fn fold(def: &MatViewDef, rs: &ResultSet) -> Result<GroupTable> {
     let key_pos: Vec<usize> = def
         .group_cols
         .iter()
@@ -325,7 +323,7 @@ fn fold(def: &MatViewDef, rs: &ResultSet) -> Result<GroupTable> {
 /// Render finished groups as extent rows: keys, then per aggregate the
 /// finalized value followed by the partial-state components of
 /// state-storing functions. Row width matches [`ExtentLayout::of`].
-fn rows_of(gt: GroupTable, def: &MatViewDef) -> Result<Vec<Tuple>> {
+pub(crate) fn rows_of(gt: GroupTable, def: &MatViewDef) -> Result<Vec<Tuple>> {
     let mut out = Vec::with_capacity(gt.len());
     for g in gt.groups {
         let mut vals = g.key.into_values();
@@ -343,7 +341,11 @@ fn rows_of(gt: GroupTable, def: &MatViewDef) -> Result<Vec<Tuple>> {
 /// Build the extent table: the schema from the base tables' types, a
 /// primary key on the grouping columns (group keys are unique by
 /// construction), and one row per group.
-fn materialize(def: &MatViewDef, catalog: &Catalog, rows: Vec<Tuple>) -> Result<Arc<Table>> {
+pub(crate) fn materialize(
+    def: &MatViewDef,
+    catalog: &Catalog,
+    rows: Vec<Tuple>,
+) -> Result<Arc<Table>> {
     let schema = extent_schema(def, catalog)?;
     let mut builder = Table::builder(MatViewMeta::extent_name(&def.name), schema);
     if !def.group_cols.is_empty() {

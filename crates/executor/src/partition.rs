@@ -22,7 +22,8 @@
 
 use aggview_common::expr::BoundExpr;
 use aggview_common::{
-    hash_key, key_matches_row, AggFunc, PartialAggState, PrehashedMap, Result, Tuple, Value,
+    hash_key, hash_values, key_matches_row, AggFunc, PartialAggState, PrehashedMap, Result, Tuple,
+    Value,
 };
 use std::ops::Range;
 
@@ -220,6 +221,18 @@ impl GroupTable {
             states: funcs.iter().map(|&f| PartialAggState::empty(f)).collect(),
         });
         slot
+    }
+
+    /// Slot of the group whose key tuple equals `key`, if present —
+    /// never creates a group (the lookup half of [`slot_for`](Self::slot_for)).
+    pub fn find(&self, key: &Tuple) -> Option<usize> {
+        let hash = hash_values(key.values());
+        self.index.get(&hash).and_then(|slots| {
+            slots
+                .iter()
+                .find(|&&s| self.groups[s as usize].key == *key)
+                .map(|&s| s as usize)
+        })
     }
 
     /// Accumulate one row: route to its group and absorb it into every

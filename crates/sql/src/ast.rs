@@ -166,6 +166,20 @@ pub enum Stmt {
     RefreshMaterializedView {
         name: String,
     },
+    /// `UPDATE table SET col = expr, ... [WHERE pred AND ...]` —
+    /// single-table; SET expressions are evaluated against the *old*
+    /// row (`SET sal = sal * 1.1` works), aggregates and subqueries are
+    /// rejected at bind time.
+    Update {
+        table: String,
+        sets: Vec<(String, AstExpr)>,
+        preds: Vec<AstPred>,
+    },
+    /// `DELETE FROM table [WHERE pred AND ...]` — single-table.
+    Delete {
+        table: String,
+        preds: Vec<AstPred>,
+    },
     /// `EXPLAIN VERIFY select` — optimize the query and run the static
     /// plan-integrity analyzer over the chosen plan, without executing.
     ExplainVerify(SelectStmt),

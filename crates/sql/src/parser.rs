@@ -125,6 +125,10 @@ impl Parser {
             self.expect_kw("view")?;
             let name = self.ident()?;
             Ok(Stmt::RefreshMaterializedView { name })
+        } else if self.peek().is_some_and(|t| t.is_kw("update")) {
+            self.update()
+        } else if self.peek().is_some_and(|t| t.is_kw("delete")) {
+            self.delete()
         } else if self.peek().is_some_and(|t| t.is_kw("explain")) {
             self.expect_kw("explain")?;
             self.expect_kw("verify")?;
@@ -179,6 +183,49 @@ impl Parser {
             rows.push(self.value_row()?);
         }
         Ok(Stmt::Insert { table, rows })
+    }
+
+    fn update(&mut self) -> Result<Stmt> {
+        self.expect_kw("update")?;
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let mut sets = vec![self.set_item()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            sets.push(self.set_item()?);
+        }
+        Ok(Stmt::Update {
+            table,
+            sets,
+            preds: self.opt_where()?,
+        })
+    }
+
+    fn set_item(&mut self) -> Result<(String, AstExpr)> {
+        let col = self.ident()?;
+        self.expect(&Token::Eq)?;
+        Ok((col, self.expr()?))
+    }
+
+    fn delete(&mut self) -> Result<Stmt> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        Ok(Stmt::Delete {
+            table,
+            preds: self.opt_where()?,
+        })
+    }
+
+    fn opt_where(&mut self) -> Result<Vec<AstPred>> {
+        let mut preds = Vec::new();
+        if self.kw("where") {
+            preds.push(self.predicate()?);
+            while self.kw("and") {
+                preds.push(self.predicate()?);
+            }
+        }
+        Ok(preds)
     }
 
     fn value_row(&mut self) -> Result<Vec<AstExpr>> {
@@ -624,6 +671,48 @@ mod tests {
         );
         assert!(parse("refresh view dsal").is_err());
         assert!(parse("insert into emp (1)").is_err());
+    }
+
+    #[test]
+    fn parses_update_with_sets_and_where() {
+        let stmt =
+            parse("update emp set sal = sal * 2, age = 30 where dno = 1 and sal < 500").unwrap();
+        let Stmt::Update { table, sets, preds } = stmt else {
+            panic!("expected update")
+        };
+        assert_eq!(table, "emp");
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].0, "sal");
+        assert!(matches!(
+            sets[0].1,
+            AstExpr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
+        assert_eq!(preds.len(), 2);
+        // WHERE is optional.
+        let Stmt::Update { preds, .. } = parse("update emp set age = 1").unwrap() else {
+            panic!()
+        };
+        assert!(preds.is_empty());
+        assert!(parse("update emp sal = 1").is_err());
+        assert!(parse("update emp set sal").is_err());
+    }
+
+    #[test]
+    fn parses_delete_with_and_without_where() {
+        let stmt = parse("delete from emp where age > 60;").unwrap();
+        let Stmt::Delete { table, preds } = stmt else {
+            panic!("expected delete")
+        };
+        assert_eq!(table, "emp");
+        assert_eq!(preds.len(), 1);
+        let Stmt::Delete { preds, .. } = parse("delete from emp").unwrap() else {
+            panic!()
+        };
+        assert!(preds.is_empty());
+        assert!(parse("delete emp").is_err());
     }
 
     #[test]

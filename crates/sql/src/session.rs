@@ -1,9 +1,13 @@
 //! A REPL-style session: parse → bind → optimize → execute.
 
-use crate::ast::{AstExpr, Stmt};
+use crate::ast::{AstExpr, AstPred, Stmt};
 use crate::binder::{bind, bind_matview, BoundQuery, ViewRegistry};
 use crate::parser::parse_script;
-use aggview_common::{AggViewError, BinaryOp, FaultInjector, Result, Tuple, Value};
+use aggview_common::predicate::eval_conjunction;
+use aggview_common::{
+    AggViewError, BinaryOp, Col, DataType, Expr, FaultInjector, Predicate, RelId, Result, Schema,
+    Tuple, Value, ZSet,
+};
 use aggview_core::analyze::PlanAnalyzer;
 use aggview_core::cost::CostModel;
 use aggview_core::governor::{OptimizeOutcome, ResourceGovernor, ResourceLimits};
@@ -107,6 +111,10 @@ pub struct Session {
     pub max_retries: u32,
     /// Executor parallelism and morsel tuning (REPL `.set threads N`).
     pub exec: ExecOptions,
+    /// Live view subscriptions: every DML/refresh maintenance round
+    /// publishes each maintained view's consolidated visible delta here
+    /// (REPL `.subscribe`).
+    pub subs: std::sync::Arc<aggview_executor::SubscriptionHub>,
     faults: Option<Box<dyn FaultInjector>>,
 }
 
@@ -121,6 +129,7 @@ impl Session {
             limits: ResourceLimits::unlimited(),
             max_retries: 2,
             exec: ExecOptions::default(),
+            subs: std::sync::Arc::new(aggview_executor::SubscriptionHub::new()),
             faults: None,
         }
     }
@@ -188,8 +197,22 @@ impl Session {
                 Stmt::Insert { table, rows } => {
                     last = Some(self.insert_rows(&table, &rows)?);
                 }
+                Stmt::Update { table, sets, preds } => {
+                    last = Some(self.update_stmt(&table, &sets, &preds)?);
+                }
+                Stmt::Delete { table, preds } => {
+                    last = Some(self.delete_stmt(&table, &preds)?);
+                }
                 Stmt::RefreshMaterializedView { name } => {
                     let gov = ResourceGovernor::new(self.limits);
+                    // A refresh is a maintenance round like any other:
+                    // subscribers see its consolidated visible delta.
+                    let watched = self.subs.has_subscribers(&name);
+                    let before = if watched {
+                        self.extent_rows(&name)
+                    } else {
+                        Vec::new()
+                    };
                     let n = aggview_executor::matview::refresh(
                         &name,
                         &self.catalog,
@@ -197,6 +220,13 @@ impl Session {
                         self.exec,
                         &gov,
                     )?;
+                    if watched {
+                        if let Some(meta) = self.catalog.matview(&name) {
+                            let after = self.extent_rows(&name);
+                            self.subs
+                                .publish_diff(&meta.def.name, &meta.layout, &before, &after);
+                        }
+                    }
                     last = Some(status_result(format!(
                         "refreshed materialized view `{name}`: {n} extent row(s)"
                     )));
@@ -267,25 +297,107 @@ impl Session {
                     .map(Tuple::new)
             })
             .collect::<Result<_>>()?;
+        let delta = ZSet::from_inserts(tuples.iter().cloned());
         let prev = self.catalog.append_rows(table, tuples.clone())?;
         let total = prev + tuples.len();
         let gov = ResourceGovernor::new(self.limits);
-        let maintained = aggview_executor::matview::maintain_after_insert(
+        let maintained = aggview_executor::delta::maintain_after_dml(
             table,
-            &tuples,
+            &delta,
             &self.catalog,
             self.model,
             self.exec,
             &gov,
+            Some(&self.subs),
         )?;
-        let views = if maintained.is_empty() {
-            String::new()
-        } else {
-            format!("; maintained views: {}", maintained.join(", "))
-        };
         Ok(status_result(format!(
-            "inserted {} row(s) into `{table}` ({total} total){views}",
-            rows.len()
+            "inserted {} row(s) into `{table}` ({total} total){}",
+            rows.len(),
+            maintained_suffix(&maintained)
+        )))
+    }
+
+    /// Current extent rows of a registered view ([] when the view or
+    /// its extent is absent).
+    fn extent_rows(&self, view: &str) -> Vec<Tuple> {
+        self.catalog
+            .matview(view)
+            .and_then(|m| self.catalog.get(&m.extent).ok())
+            .map(|t| t.rows().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// `UPDATE table SET col = expr, ... [WHERE ...]`: evaluate each SET
+    /// expression against the *old* row for every matching row, replace
+    /// the rows in place, and maintain dependent materialized views from
+    /// the resulting Z-set delta (`-old ⊕ +new` per row).
+    fn update_stmt(
+        &mut self,
+        table: &str,
+        sets: &[(String, AstExpr)],
+        preds: &[AstPred],
+    ) -> Result<SqlResult> {
+        let t = self.catalog.get(table)?;
+        let schema = t.schema().clone();
+        let bound_sets = bind_set_list(table, &schema, sets)?;
+        let gov = ResourceGovernor::new(self.limits);
+        let indices = matched_indices(table, &schema, t.rows(), preds, &gov)?;
+        let mut replacements = Vec::with_capacity(indices.len());
+        for &i in &indices {
+            let old = &t.rows()[i];
+            let mut vals = old.values().to_vec();
+            for (pos, ty, expr) in &bound_sets {
+                vals[*pos] = coerce_to(expr.eval(old)?, *ty);
+            }
+            replacements.push(Tuple::new(vals));
+        }
+        let pairs = self.catalog.update_rows(table, &indices, replacements)?;
+        let n = pairs.len();
+        let mut delta = ZSet::new();
+        for (old, new) in pairs {
+            delta.add(old, -1);
+            delta.add(new, 1);
+        }
+        delta.consolidate();
+        let maintained = aggview_executor::delta::maintain_after_dml(
+            table,
+            &delta,
+            &self.catalog,
+            self.model,
+            self.exec,
+            &gov,
+            Some(&self.subs),
+        )?;
+        Ok(status_result(format!(
+            "updated {n} row(s) in `{table}`{}",
+            maintained_suffix(&maintained)
+        )))
+    }
+
+    /// `DELETE FROM table [WHERE ...]`: remove matching rows and
+    /// maintain dependent materialized views from the `-row` Z-set
+    /// delta.
+    fn delete_stmt(&mut self, table: &str, preds: &[AstPred]) -> Result<SqlResult> {
+        let t = self.catalog.get(table)?;
+        let schema = t.schema().clone();
+        let gov = ResourceGovernor::new(self.limits);
+        let indices = matched_indices(table, &schema, t.rows(), preds, &gov)?;
+        let removed = self.catalog.delete_rows(table, &indices)?;
+        let n = removed.len();
+        let remaining = self.catalog.get(table)?.len();
+        let delta = ZSet::from_deletes(removed);
+        let maintained = aggview_executor::delta::maintain_after_dml(
+            table,
+            &delta,
+            &self.catalog,
+            self.model,
+            self.exec,
+            &gov,
+            Some(&self.subs),
+        )?;
+        Ok(status_result(format!(
+            "deleted {n} row(s) from `{table}` ({remaining} remaining){}",
+            maintained_suffix(&maintained)
         )))
     }
 
@@ -307,7 +419,10 @@ impl Session {
                     query,
                 } => self.registry.register(&name, columns, query),
                 // Planning-only surfaces never execute side effects.
-                Stmt::Insert { .. } | Stmt::RefreshMaterializedView { .. } => {}
+                Stmt::Insert { .. }
+                | Stmt::Update { .. }
+                | Stmt::Delete { .. }
+                | Stmt::RefreshMaterializedView { .. } => {}
                 Stmt::Select(s) | Stmt::ExplainVerify(s) => select = Some(s),
             }
         }
@@ -342,7 +457,10 @@ impl Session {
                     query,
                 } => self.registry.register(&name, columns, query),
                 // Planning-only surfaces never execute side effects.
-                Stmt::Insert { .. } | Stmt::RefreshMaterializedView { .. } => {}
+                Stmt::Insert { .. }
+                | Stmt::Update { .. }
+                | Stmt::Delete { .. }
+                | Stmt::RefreshMaterializedView { .. } => {}
                 Stmt::Select(s) | Stmt::ExplainVerify(s) => select = Some(s),
             }
         }
@@ -456,6 +574,117 @@ impl Session {
             outcome: opt.outcome,
             retries: 0,
         })
+    }
+}
+
+/// Render the `; maintained views: ...` suffix of a DML status row.
+fn maintained_suffix(maintained: &[String]) -> String {
+    if maintained.is_empty() {
+        String::new()
+    } else {
+        format!("; maintained views: {}", maintained.join(", "))
+    }
+}
+
+/// Lower a single-table DML scalar expression (WHERE operand or SET
+/// right-hand side) to a bound [`Expr`] over the table's row layout.
+/// Aggregates and subqueries are rejected; a qualifier, if present,
+/// must name the target table.
+fn dml_expr(table: &str, schema: &Schema, e: &AstExpr, what: &str) -> Result<Expr> {
+    match e {
+        AstExpr::Col { qualifier, name } => {
+            if let Some(q) = qualifier {
+                if !q.eq_ignore_ascii_case(table) {
+                    return Err(AggViewError::Bind(format!(
+                        "{what} references `{q}.{name}`, but only `{table}` is in scope"
+                    )));
+                }
+            }
+            let pos = schema.resolve(name)?;
+            Ok(Expr::col(Col::base(RelId(0), pos)))
+        }
+        AstExpr::Lit(v) => Ok(Expr::val(v.clone())),
+        AstExpr::Binary { op, left, right } => {
+            Ok(dml_expr(table, schema, left, what)?
+                .binary(*op, dml_expr(table, schema, right, what)?))
+        }
+        AstExpr::Agg { .. } => Err(AggViewError::Bind(format!(
+            "{what} must not contain aggregates"
+        ))),
+        AstExpr::Subquery(_) => Err(AggViewError::Bind(format!(
+            "{what} must not contain subqueries"
+        ))),
+    }
+}
+
+/// Identity layout for a single-table DML row: base column `i` lives at
+/// tuple position `i`.
+fn dml_layout(c: Col) -> Option<usize> {
+    match c {
+        Col::Base(b) => Some(b.col as usize),
+        _ => None,
+    }
+}
+
+/// Bind an UPDATE's SET list: each target column resolves to its
+/// position (no column may be assigned twice) and each right-hand side
+/// is bound against the old row.
+fn bind_set_list(
+    table: &str,
+    schema: &Schema,
+    sets: &[(String, AstExpr)],
+) -> Result<Vec<(usize, DataType, aggview_common::expr::BoundExpr)>> {
+    let mut out: Vec<(usize, DataType, aggview_common::expr::BoundExpr)> = Vec::new();
+    for (name, e) in sets {
+        let pos = schema.resolve(name)?;
+        if out.iter().any(|(p, _, _)| *p == pos) {
+            return Err(AggViewError::Bind(format!(
+                "column `{name}` is SET more than once"
+            )));
+        }
+        let expr = dml_expr(table, schema, e, "UPDATE SET expression")?;
+        out.push((pos, schema.field(pos).ty, expr.bind(&dml_layout)?));
+    }
+    Ok(out)
+}
+
+/// Evaluate a DML WHERE conjunction over the table's rows, charging the
+/// scan to the governor, and return the matching row positions (in
+/// ascending order, as the catalog mutators require).
+fn matched_indices(
+    table: &str,
+    schema: &Schema,
+    rows: &[Tuple],
+    preds: &[AstPred],
+    gov: &ResourceGovernor,
+) -> Result<Vec<usize>> {
+    let bound = preds
+        .iter()
+        .map(|p| {
+            Predicate::new(
+                dml_expr(table, schema, &p.left, "WHERE predicate")?,
+                p.op,
+                dml_expr(table, schema, &p.right, "WHERE predicate")?,
+            )
+            .bind(&dml_layout)
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let mut indices = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        gov.charge_rows(1)?;
+        if eval_conjunction(&bound, row)? {
+            indices.push(i);
+        }
+    }
+    Ok(indices)
+}
+
+/// Coerce an Int produced by SET arithmetic into the column's declared
+/// Float type; all other mismatches surface as catalog type errors.
+fn coerce_to(v: Value, ty: DataType) -> Value {
+    match (&v, ty) {
+        (Value::Int(i), DataType::Float) => Value::Float(*i as f64),
+        _ => v,
     }
 }
 
@@ -932,6 +1161,147 @@ mod matview_tests {
         assert!(err.message().contains("literal"), "{err}");
         let err = s.execute("refresh materialized view ghost").unwrap_err();
         assert!(err.message().contains("unknown materialized view"));
+    }
+}
+
+#[cfg(test)]
+mod dml_tests {
+    use super::*;
+    use aggview_storage::datagen::{gen_empdept, EmpDeptConfig};
+
+    fn session() -> Session {
+        Session::new(
+            gen_empdept(&EmpDeptConfig {
+                n_depts: 4,
+                emps_per_dept: 6,
+                young_fraction: 0.5,
+                seed: 7,
+                ..Default::default()
+            })
+            .unwrap(),
+        )
+    }
+
+    fn sorted_rows(r: &SqlResult) -> Vec<String> {
+        let mut v: Vec<String> = r.rows.iter().map(|t| t.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn delete_removes_rows_and_maintains_views() {
+        let mut s = session();
+        s.execute(
+            "create materialized view dsal(dno, total, n) as \
+             select dno, sum(sal), count(*) from emp group by dno",
+        )
+        .unwrap();
+        let st = s.execute("delete from emp where dno = 2").unwrap();
+        let msg = st.rows[0].get(0).to_string();
+        assert!(msg.contains("deleted 6 row(s)"), "{msg}");
+        assert!(msg.contains("18 remaining"), "{msg}");
+        assert!(msg.contains("maintained views: dsal"), "{msg}");
+        let meta = s.catalog().matview("dsal").unwrap();
+        assert!(!meta.is_stale(s.catalog()));
+
+        // Extent answers agree with recomputing from base data, and the
+        // emptied group's extent row is gone.
+        let via_mv = s
+            .execute("select dno, count(*) from emp group by dno")
+            .unwrap();
+        s.config.use_matviews = false;
+        let inlined = s
+            .execute("select dno, count(*) from emp group by dno")
+            .unwrap();
+        assert_eq!(sorted_rows(&via_mv), sorted_rows(&inlined));
+        assert_eq!(via_mv.rows.len(), 3);
+    }
+
+    #[test]
+    fn update_rewrites_rows_and_maintains_views() {
+        let mut s = session();
+        s.execute(
+            "create materialized view dsal(dno, total, n) as \
+             select dno, sum(sal), count(*) from emp group by dno",
+        )
+        .unwrap();
+        // Move every young employee of dept 1 into dept 3 with a raise
+        // computed from the OLD row.
+        let st = s
+            .execute("update emp set dno = 3, sal = sal + 100.0 where dno = 1 and age < 30")
+            .unwrap();
+        let msg = st.rows[0].get(0).to_string();
+        assert!(msg.contains("updated"), "{msg}");
+        assert!(msg.contains("maintained views: dsal"), "{msg}");
+        let via_mv = s
+            .execute("select dno, sum(sal), count(*) from emp group by dno")
+            .unwrap();
+        s.config.use_matviews = false;
+        let inlined = s
+            .execute("select dno, sum(sal), count(*) from emp group by dno")
+            .unwrap();
+        assert_eq!(sorted_rows(&via_mv), sorted_rows(&inlined));
+    }
+
+    #[test]
+    fn update_without_where_touches_every_row() {
+        let mut s = session();
+        let st = s.execute("update emp set age = age + 1").unwrap();
+        let msg = st.rows[0].get(0).to_string();
+        assert!(msg.contains("updated 24 row(s)"), "{msg}");
+    }
+
+    #[test]
+    fn dml_binding_errors_are_clear() {
+        let mut s = session();
+        for (sql, needle) in [
+            ("delete from ghost where eno = 1", "unknown table"),
+            ("delete from emp where bogus = 1", "bogus"),
+            ("update emp set bogus = 1", "bogus"),
+            ("update emp set sal = 1.0, sal = 2.0", "SET more than once"),
+            (
+                "update emp set sal = sum(sal)",
+                "must not contain aggregates",
+            ),
+            ("update emp set sal = 1.0 where dept.dno = 1", "dept"),
+        ] {
+            let err = s.execute(sql).unwrap_err();
+            assert!(err.message().contains(needle), "{sql}: got {err}");
+        }
+    }
+
+    #[test]
+    fn dml_scans_are_charged_against_the_row_budget() {
+        let mut s = session();
+        s.limits = ResourceLimits::unlimited().with_max_rows(3);
+        let err = s.execute("delete from emp where age < 30").unwrap_err();
+        assert_eq!(err.kind(), "resource-exhausted");
+        let err = s
+            .execute("update emp set sal = 0.0 where age < 30")
+            .unwrap_err();
+        assert_eq!(err.kind(), "resource-exhausted");
+        // The budget abort left the table untouched.
+        assert_eq!(s.catalog().get("emp").unwrap().rows().len(), 24);
+    }
+
+    #[test]
+    fn subscribers_see_consolidated_dml_rounds() {
+        let mut s = session();
+        s.execute(
+            "create materialized view dsal(dno, total, n) as \
+             select dno, sum(sal), count(*) from emp group by dno",
+        )
+        .unwrap();
+        let subs = s.subs.clone();
+        subs.subscribe("repl", "dsal");
+        s.execute("delete from emp where dno = 0").unwrap();
+        let events = subs.drain("repl");
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert!(
+            matches!(&events[0], aggview_executor::ViewEvent::Deleted { row, .. }
+                     if row.get(0) == &aggview_common::Value::Int(0)),
+            "{events:?}"
+        );
     }
 }
 

@@ -135,6 +135,50 @@ fn rebuild_table(snap: &TableSnap) -> Result<Arc<Table>> {
     b.build()
 }
 
+/// Start a builder with the same name, schema, and key declarations as
+/// `old` (no rows) — the first half of every immutable-table rebuild.
+fn builder_like(old: &Table) -> Result<crate::table::TableBuilder> {
+    let mut b = Table::builder(old.name(), old.schema().clone());
+    if let Some(pk) = old.primary_key() {
+        let names: Vec<String> = pk
+            .cols
+            .iter()
+            .map(|&i| old.schema().field(i).name.clone())
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b = b.primary_key(&refs)?;
+    }
+    for fk in old.foreign_keys() {
+        let names: Vec<String> = fk
+            .cols
+            .iter()
+            .map(|&i| old.schema().field(i).name.clone())
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b = b.foreign_key(&refs, &fk.parent, &fk.parent_cols)?;
+    }
+    Ok(b)
+}
+
+/// Positional DML operates on strictly increasing, in-bounds row
+/// positions: that is what makes the WAL's positional records replay
+/// deterministically (and lets the rebuild walk old rows once).
+fn check_positions(name: &str, indices: &[usize], len: usize) -> Result<()> {
+    for (k, &i) in indices.iter().enumerate() {
+        if i >= len {
+            return Err(AggViewError::Catalog(format!(
+                "row position {i} out of bounds for `{name}` ({len} rows)"
+            )));
+        }
+        if k > 0 && indices[k - 1] >= i {
+            return Err(AggViewError::Catalog(format!(
+                "row positions for `{name}` must be strictly increasing"
+            )));
+        }
+    }
+    Ok(())
+}
+
 impl Catalog {
     /// A purely in-memory catalog: no directory, no WAL, zero IO.
     pub fn new() -> Catalog {
@@ -269,6 +313,16 @@ impl Catalog {
                 self.matviews
                     .write()
                     .insert(meta.def.name.to_ascii_lowercase(), meta.clone());
+            }
+            WalRecord::DeleteBatch { table, indices } => {
+                self.delete_rows_impl(table, indices, false)?;
+            }
+            WalRecord::UpdateBatch {
+                table,
+                indices,
+                rows,
+            } => {
+                self.update_rows_impl(table, indices, rows, false)?;
             }
         }
         Ok(())
@@ -440,25 +494,7 @@ impl Catalog {
             .cloned()
             .ok_or_else(|| AggViewError::Catalog(format!("unknown table `{name}`")))?;
         let prev_len = old.len();
-        let mut b = Table::builder(old.name(), old.schema().clone());
-        if let Some(pk) = old.primary_key() {
-            let names: Vec<String> = pk
-                .cols
-                .iter()
-                .map(|&i| old.schema().field(i).name.clone())
-                .collect();
-            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-            b = b.primary_key(&refs)?;
-        }
-        for fk in old.foreign_keys() {
-            let names: Vec<String> = fk
-                .cols
-                .iter()
-                .map(|&i| old.schema().field(i).name.clone())
-                .collect();
-            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-            b = b.foreign_key(&refs, &fk.parent, &fk.parent_cols)?;
-        }
+        let mut b = builder_like(&old)?;
         for row in old.rows() {
             b.push(row.clone())?;
         }
@@ -481,6 +517,122 @@ impl Catalog {
         map.insert(key.clone(), table);
         bump_entry(&mut vers, &key);
         Ok(prev_len)
+    }
+
+    /// Remove the rows at the given positions (which must be strictly
+    /// increasing and in bounds), returning the removed rows in position
+    /// order. Callers maintaining materialized views turn the result
+    /// into the negative half of a Z-set delta.
+    ///
+    /// Same discipline as [`append_rows`](Catalog::append_rows): the
+    /// table is rebuilt without the victims (re-analyzing statistics),
+    /// logged positionally (tables are immutable ordered row vectors,
+    /// so positions replay deterministically), swapped in, and the data
+    /// version bumped — all under the tables write lock.
+    pub fn delete_rows(&self, name: &str, indices: &[usize]) -> Result<Vec<Tuple>> {
+        self.delete_rows_impl(name, indices, true)
+    }
+
+    fn delete_rows_impl(&self, name: &str, indices: &[usize], log: bool) -> Result<Vec<Tuple>> {
+        let key = name.to_ascii_lowercase();
+        let mut map = self.tables.write();
+        let old = map
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| AggViewError::Catalog(format!("unknown table `{name}`")))?;
+        check_positions(name, indices, old.len())?;
+        if indices.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut b = builder_like(&old)?;
+        let mut removed = Vec::with_capacity(indices.len());
+        let mut next = indices.iter().copied().peekable();
+        for (i, row) in old.rows().iter().enumerate() {
+            if next.peek() == Some(&i) {
+                next.next();
+                removed.push(row.clone());
+            } else {
+                b.push(row.clone())?;
+            }
+        }
+        let table = b.build()?;
+        let mut vers = self.versions.write();
+        if log {
+            self.log_with(|| WalRecord::DeleteBatch {
+                table: key.clone(),
+                indices: indices.to_vec(),
+            })?;
+        }
+        map.insert(key.clone(), table);
+        bump_entry(&mut vers, &key);
+        Ok(removed)
+    }
+
+    /// Replace the rows at the given positions (strictly increasing, in
+    /// bounds) with `rows[i]`, returning `(old, new)` pairs in position
+    /// order. The pairs become a Z-set delta: `-old ⊕ +new` per row.
+    ///
+    /// The rebuild re-validates primary-key uniqueness over the whole
+    /// table, so an update that would collide two keys fails atomically
+    /// with nothing logged or applied.
+    pub fn update_rows(
+        &self,
+        name: &str,
+        indices: &[usize],
+        rows: Vec<Tuple>,
+    ) -> Result<Vec<(Tuple, Tuple)>> {
+        self.update_rows_impl(name, indices, &rows, true)
+    }
+
+    fn update_rows_impl(
+        &self,
+        name: &str,
+        indices: &[usize],
+        rows: &[Tuple],
+        log: bool,
+    ) -> Result<Vec<(Tuple, Tuple)>> {
+        let key = name.to_ascii_lowercase();
+        let mut map = self.tables.write();
+        let old = map
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| AggViewError::Catalog(format!("unknown table `{name}`")))?;
+        check_positions(name, indices, old.len())?;
+        if indices.len() != rows.len() {
+            return Err(AggViewError::Catalog(format!(
+                "update of `{name}`: {} positions but {} replacement rows",
+                indices.len(),
+                rows.len()
+            )));
+        }
+        if indices.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut b = builder_like(&old)?;
+        let mut pairs = Vec::with_capacity(indices.len());
+        let mut next = indices.iter().copied().enumerate().peekable();
+        for (i, row) in old.rows().iter().enumerate() {
+            match next.peek() {
+                Some(&(k, pos)) if pos == i => {
+                    next.next();
+                    b.push(rows[k].clone())?;
+                    pairs.push((row.clone(), rows[k].clone()));
+                }
+                _ => b.push(row.clone())?,
+            }
+        }
+        let table = b.build()?;
+        let mut vers = self.versions.write();
+        if log {
+            self.log_with(|| WalRecord::UpdateBatch {
+                table: key.clone(),
+                indices: indices.to_vec(),
+                rows: rows.to_vec(),
+            })?;
+        }
+        map.insert(key.clone(), table);
+        bump_entry(&mut vers, &key);
+        Ok(pairs)
     }
 
     // ---- materialized views ----------------------------------------
@@ -794,6 +946,69 @@ mod tests {
         assert_eq!(c.get("t").unwrap().len(), 8);
         assert_eq!(c.data_version("t"), 9);
         assert!(c.stats_fresh("t"));
+    }
+
+    #[test]
+    fn delete_rows_removes_and_returns_victims() {
+        let c = Catalog::new();
+        c.add(table("t")).unwrap();
+        c.append_rows("t", vec![tuple![1i64], tuple![2i64], tuple![3i64]])
+            .unwrap();
+        let removed = c.delete_rows("t", &[0, 2]).unwrap();
+        assert_eq!(removed, vec![tuple![1i64], tuple![3i64]]);
+        let t = c.get("t").unwrap();
+        assert_eq!(t.rows(), &[tuple![2i64]]);
+        assert_eq!(t.stats().rows, 1);
+        assert!(c.stats_fresh("t"));
+        assert_eq!(c.data_version("t"), 3);
+        // Empty delete is a no-op that bumps nothing.
+        assert!(c.delete_rows("t", &[]).unwrap().is_empty());
+        assert_eq!(c.data_version("t"), 3);
+        // Out-of-bounds and unsorted position lists are rejected.
+        assert!(c.delete_rows("t", &[5]).is_err());
+        assert!(c.delete_rows("ghost", &[0]).is_err());
+        let c2 = Catalog::new();
+        c2.add(table("u")).unwrap();
+        c2.append_rows("u", vec![tuple![1i64], tuple![2i64]])
+            .unwrap();
+        assert!(c2.delete_rows("u", &[1, 0]).is_err());
+        assert!(c2.delete_rows("u", &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn update_rows_replaces_in_place_and_reports_pairs() {
+        let c = Catalog::new();
+        let t = Table::builder(
+            "k",
+            Schema::of(&[("id", DataType::Int), ("v", DataType::Int)]),
+        )
+        .primary_key(&["id"])
+        .unwrap()
+        .row(vec![1i64.into(), 10i64.into()])
+        .unwrap()
+        .row(vec![2i64.into(), 20i64.into()])
+        .unwrap()
+        .build()
+        .unwrap();
+        c.add(t).unwrap();
+        let pairs = c.update_rows("k", &[1], vec![tuple![2i64, 25i64]]).unwrap();
+        assert_eq!(pairs, vec![(tuple![2i64, 20i64], tuple![2i64, 25i64])]);
+        assert_eq!(
+            c.get("k").unwrap().rows(),
+            &[tuple![1i64, 10i64], tuple![2i64, 25i64]]
+        );
+        assert_eq!(c.data_version("k"), 2);
+        // A primary-key collision fails atomically: nothing applied.
+        assert!(c.update_rows("k", &[1], vec![tuple![1i64, 99i64]]).is_err());
+        assert_eq!(c.data_version("k"), 2);
+        assert_eq!(
+            c.get("k").unwrap().rows(),
+            &[tuple![1i64, 10i64], tuple![2i64, 25i64]]
+        );
+        // Arity mismatch between positions and rows is rejected.
+        assert!(c
+            .update_rows("k", &[0, 1], vec![tuple![3i64, 1i64]])
+            .is_err());
     }
 
     #[test]

@@ -74,6 +74,20 @@ pub enum WalRecord {
     /// Materialized-view metadata registered or updated. Replay applies
     /// it as an upsert, so one record shape covers both.
     PutMatView { meta: MatViewMeta },
+    /// Rows removed from an existing table (`Catalog::delete_rows`).
+    /// Logged as *positions* into the table's row vector at log time:
+    /// tables are immutable ordered row vectors, so positional replay
+    /// against the same committed prefix is deterministic and the record
+    /// stays small.
+    DeleteBatch { table: String, indices: Vec<usize> },
+    /// Rows replaced in place (`Catalog::update_rows`): `rows[i]` is the
+    /// new content of the row at position `indices[i]`. Same positional
+    /// determinism argument as [`WalRecord::DeleteBatch`].
+    UpdateBatch {
+        table: String,
+        indices: Vec<usize>,
+        rows: Vec<Tuple>,
+    },
 }
 
 impl WalRecord {
@@ -95,6 +109,8 @@ impl WalRecord {
             WalRecord::InsertBatch { .. } => 1,
             WalRecord::MarkModified { .. } => 2,
             WalRecord::PutMatView { .. } => 3,
+            WalRecord::DeleteBatch { .. } => 4,
+            WalRecord::UpdateBatch { .. } => 5,
         }
     }
 
@@ -124,6 +140,19 @@ impl WalRecord {
             }
             WalRecord::MarkModified { table } => e.str(table),
             WalRecord::PutMatView { meta } => codec::enc_matview_meta(&mut e, meta),
+            WalRecord::DeleteBatch { table, indices } => {
+                e.str(table);
+                e.usizes(indices);
+            }
+            WalRecord::UpdateBatch {
+                table,
+                indices,
+                rows,
+            } => {
+                e.str(table);
+                e.usizes(indices);
+                codec::enc_rows(&mut e, rows);
+            }
         }
         e.into_bytes()
     }
@@ -156,6 +185,15 @@ impl WalRecord {
             2 => WalRecord::MarkModified { table: d.str()? },
             3 => WalRecord::PutMatView {
                 meta: codec::dec_matview_meta(&mut d)?,
+            },
+            4 => WalRecord::DeleteBatch {
+                table: d.str()?,
+                indices: d.usizes()?,
+            },
+            5 => WalRecord::UpdateBatch {
+                table: d.str()?,
+                indices: d.usizes()?,
+                rows: codec::dec_rows(&mut d)?,
             },
             t => return Err(d.corrupt(format!("unknown WAL record kind {t}"))),
         };
@@ -452,6 +490,15 @@ mod tests {
             WalRecord::MarkModified {
                 table: "emp".into(),
             },
+            WalRecord::DeleteBatch {
+                table: "emp".into(),
+                indices: vec![0, 3],
+            },
+            WalRecord::UpdateBatch {
+                table: "emp".into(),
+                indices: vec![1],
+                rows: vec![Tuple::new(vec![Value::Int(2), Value::Float(25.0)])],
+            },
         ]
     }
 
@@ -470,15 +517,15 @@ mod tests {
         let path = dir.join("wal.agv");
         let recs = sample_records();
         let w = write_log(&path, &recs);
-        assert_eq!(w.next_lsn(), 3);
+        assert_eq!(w.next_lsn(), 5);
         let back = WalReader::read_committed(&path).unwrap();
-        assert_eq!(back.records.len(), 3);
+        assert_eq!(back.records.len(), 5);
         for (i, (lsn, rec)) in back.records.iter().enumerate() {
             assert_eq!(*lsn, i as u64);
             assert_eq!(rec, &recs[i]);
         }
         assert_eq!(back.committed_len, *back.frame_ends.last().unwrap());
-        assert_eq!(back.next_lsn(), 3);
+        assert_eq!(back.next_lsn(), 5);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -490,9 +537,10 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         let contents = WalReader::read_committed(&path).unwrap();
         let second_end = contents.frame_ends[1] as usize;
+        let third_end = contents.frame_ends[2] as usize;
         // Cut anywhere inside the third frame: exactly two records
         // survive, no error.
-        for cut in second_end..full.len() {
+        for cut in second_end..third_end {
             std::fs::write(&path, &full[..cut]).unwrap();
             let back = WalReader::read_committed(&path).unwrap();
             assert_eq!(back.records.len(), 2, "cut at {cut}");
@@ -510,7 +558,7 @@ mod tests {
         bytes.extend_from_slice(&[0x13, 0x37, 0xFF, 0x00, 0x42]);
         std::fs::write(&path, &bytes).unwrap();
         let back = WalReader::read_committed(&path).unwrap();
-        assert_eq!(back.records.len(), 3);
+        assert_eq!(back.records.len(), 5);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -586,7 +634,7 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let contents = WalReader::read_committed(&path).unwrap();
         let mut w = WalWriter::open(&path, &contents, 0).unwrap();
-        assert_eq!(w.next_lsn(), 3);
+        assert_eq!(w.next_lsn(), 5);
         assert_eq!(
             std::fs::metadata(&path).unwrap().len(),
             contents.committed_len,
@@ -595,9 +643,9 @@ mod tests {
         let lsn = w
             .append(&WalRecord::MarkModified { table: "x".into() }, &NoFaults)
             .unwrap();
-        assert_eq!(lsn, 3);
+        assert_eq!(lsn, 5);
         let back = WalReader::read_committed(&path).unwrap();
-        assert_eq!(back.records.len(), 4);
+        assert_eq!(back.records.len(), 6);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -609,14 +657,14 @@ mod tests {
         let inj = ScheduledIoFaults::at("wal.truncate", 0, IoFaultKind::Error);
         let err = w.truncate_all(&inj).unwrap_err();
         assert_eq!(err.kind(), "io");
-        assert_eq!(WalReader::read_committed(&path).unwrap().records.len(), 3);
+        assert_eq!(WalReader::read_committed(&path).unwrap().records.len(), 5);
         w.truncate_all(&NoFaults).unwrap();
         let back = WalReader::read_committed(&path).unwrap();
         assert!(back.records.is_empty());
         let lsn = w
             .append(&WalRecord::MarkModified { table: "x".into() }, &NoFaults)
             .unwrap();
-        assert_eq!(lsn, 3, "LSNs are never reused after truncation");
+        assert_eq!(lsn, 5, "LSNs are never reused after truncation");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -141,6 +141,30 @@ fn run_workload(cat: &Catalog, reference: &Catalog) {
     both(cat.append_rows("emp", vec![tuple![13, 0]]).is_ok(), &|r| {
         r.append_rows("emp", vec![tuple![13, 0]]).unwrap();
     });
+    // Mixed DML after a checkpoint: both record kinds (UpdateBatch,
+    // DeleteBatch) land in the live WAL tail, so every crash point in
+    // this suffix exercises their replay. Positions are only valid when
+    // the earlier appends committed, so each op is gated on the durable
+    // catalog's current row count.
+    if cat.contains("emp") && cat.get("emp").unwrap().rows().len() >= 2 {
+        both(
+            cat.update_rows("emp", &[1], vec![tuple![11, 0]]).is_ok(),
+            &|r| {
+                r.update_rows("emp", &[1], vec![tuple![11, 0]]).unwrap();
+            },
+        );
+        both(cat.delete_rows("emp", &[0]).is_ok(), &|r| {
+            r.delete_rows("emp", &[0]).unwrap();
+        });
+    }
+    let _ = cat.checkpoint();
+    if cat.contains("emp") && !cat.get("emp").unwrap().rows().is_empty() {
+        // A delete after the final checkpoint: replayed from the WAL
+        // tail over the snapshot image.
+        both(cat.delete_rows("emp", &[0]).is_ok(), &|r| {
+            r.delete_rows("emp", &[0]).unwrap();
+        });
+    }
 }
 
 /// Versions can legitimately diverge between the durable catalog and
