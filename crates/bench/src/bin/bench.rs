@@ -69,7 +69,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match check_peak_regression(&text, &report.workloads, 1.10) {
+        let gated = check_peak_regression(&text, &report.workloads, 1.10)
+            .and_then(|()| check_peak_regression(&text, &report.eager_agg.shapes, 1.10));
+        match gated {
             Ok(()) => println!("peak-bytes baseline check: ok (vs {path})"),
             Err(e) => {
                 eprintln!("peak_intermediate_bytes regression vs {path}:\n{e}");

@@ -16,7 +16,11 @@
 //! measures the
 //! same aggregate query cold (inlined), answered from a materialized
 //! view extent, and after staleness + `REFRESH`, and checks that
-//! incremental `INSERT` maintenance reproduces the rebuilt extent.
+//! incremental `INSERT` maintenance reproduces the rebuilt extent. An
+//! *eager_agg* section A/B-tests eager partial aggregation pushed below
+//! a join against the materialize-then-aggregate shape on a self-join
+//! workload, asserting identical results and reporting the peak-bytes
+//! ratio.
 //!
 //! The report records `host_cpus`: on a single-core host the parallel
 //! speedup cannot exceed ~1.0 regardless of implementation, so CI (or
@@ -221,6 +225,28 @@ pub struct StaticAnalysisReport {
     pub statically_rejected: u64,
 }
 
+/// The eager-aggregation A/B section: one join-then-aggregate self-join
+/// workload optimized twice — `use_eager_agg` on (partial aggregation
+/// pushed below the join) and off (aggregate over the materialized
+/// join) — and both plans executed and measured like ordinary
+/// workloads.
+#[derive(Debug, Clone)]
+pub struct EagerAggReport {
+    /// The two shapes as ordinary workload measurements
+    /// (`eager_agg_on`, `eager_agg_off`), rendered with the same JSON
+    /// line layout as `workloads` so the peak-regression baseline
+    /// check covers them.
+    pub shapes: Vec<WorkloadReport>,
+    /// Traditional peak / eager peak, from measured
+    /// `peak_intermediate_bytes`.
+    pub peak_ratio: f64,
+    /// The eager-configured optimizer actually placed a partial
+    /// aggregate below the join.
+    pub eager_plan_fired: bool,
+    /// Both shapes returned identical sorted result rows.
+    pub results_match: bool,
+}
+
 /// Full benchmark output, serializable to `BENCH_exec.json`.
 #[derive(Debug, Clone)]
 pub struct ExecBenchReport {
@@ -234,6 +260,7 @@ pub struct ExecBenchReport {
     pub maintenance: MaintenanceReport,
     pub durability: DurabilityReport,
     pub static_analysis: StaticAnalysisReport,
+    pub eager_agg: EagerAggReport,
     /// Plans run through the static integrity analyzer before execution.
     pub plans_checked: u64,
     /// Plans the analyzer accepted. The run aborts on the first
@@ -506,6 +533,13 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
     let maintenance = maintenance_report(scale, repeats)?;
     let durability = durability_report(scale, repeats)?;
     let static_analysis = static_analysis_report(&empdept, &star)?;
+    let eager_agg = eager_agg_report(
+        &empdept,
+        threads,
+        repeats,
+        &mut plans_checked,
+        &mut plans_passed,
+    )?;
 
     Ok(ExecBenchReport {
         host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -518,8 +552,128 @@ pub fn run_exec_bench(cfg: &ExecBenchConfig) -> Result<ExecBenchReport> {
         maintenance,
         durability,
         static_analysis,
+        eager_agg,
         plans_checked,
         plans_passed,
+    })
+}
+
+/// The join-then-aggregate self-join (`SELECT e1.dno, AVG(e1.age),
+/// MIN(e2.sal), SUM(e2.age) FROM emp e1, emp e2 WHERE e1.dno = e2.dno
+/// GROUP BY e1.dno`). With ~100 employees per department the join
+/// materializes ~10,000 rows per department before the traditional
+/// aggregate collapses them; the eager optimizer folds one `emp` input
+/// to one partial row per department first.
+fn eager_selfjoin_query() -> CanonicalQuery {
+    let mut env = QueryEnv::default();
+    let e1 = env.add_rel("emp");
+    let e2 = env.add_rel("emp");
+    let aggs = vec![
+        AggSpec::new(AggFunc::Avg, Expr::col(Col::base(e1, emp::AGE))),
+        AggSpec::new(AggFunc::Min, Expr::col(Col::base(e2, emp::SAL))),
+        AggSpec::new(AggFunc::Sum, Expr::col(Col::base(e2, emp::AGE))),
+    ];
+    let n = aggs.len();
+    CanonicalQuery {
+        env,
+        views: vec![],
+        base_rels: vec![e1, e2],
+        preds: vec![Predicate::eq_cols(
+            Col::base(e1, emp::DNO),
+            Col::base(e2, emp::DNO),
+        )],
+        group: Some(TopGroup {
+            group_cols: vec![Col::base(e1, emp::DNO)],
+            aggs,
+            having: vec![],
+        }),
+        projection: std::iter::once(Col::base(e1, emp::DNO))
+            .chain((0..n).map(|i| Col::agg(ViewId::Top, i)))
+            .collect(),
+    }
+}
+
+fn contains_partial_aggregate(p: &Plan) -> bool {
+    match p {
+        Plan::PartialAggregate { .. } => true,
+        Plan::Join { left, right, .. } => {
+            contains_partial_aggregate(left) || contains_partial_aggregate(right)
+        }
+        Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => {
+            contains_partial_aggregate(input)
+        }
+        Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => false,
+    }
+}
+
+/// Measure the eager-aggregation A/B pair: optimize
+/// [`eager_selfjoin_query`] with `use_eager_agg` on and off, gate both
+/// plans through the analyzer, time both like ordinary workloads, and
+/// compare their executed result sets row for row.
+fn eager_agg_report(
+    empdept: &Catalog,
+    threads: usize,
+    repeats: usize,
+    checked: &mut u64,
+    passed: &mut u64,
+) -> Result<EagerAggReport> {
+    let model = model_with_mem(64.0);
+    let q = eager_selfjoin_query();
+    let eager_plan = optimize(
+        &q,
+        empdept,
+        model,
+        &OptimizerConfig {
+            use_eager_agg: true,
+            ..Default::default()
+        },
+    )?
+    .plan;
+    let plain_plan = optimize(
+        &q,
+        empdept,
+        model,
+        &OptimizerConfig {
+            use_eager_agg: false,
+            ..Default::default()
+        },
+    )?
+    .plan;
+    let input_rows = 2 * empdept.get("emp").map_or(0, |t| t.len()) as u64;
+    let mut shapes = Vec::new();
+    for (name, plan) in [
+        ("eager_agg_on", &eager_plan),
+        ("eager_agg_off", &plain_plan),
+    ] {
+        analyze_workload(name, empdept, model, plan, &q.env, Some(&q), checked, passed)?;
+        shapes.push(run_workload(
+            name, empdept, &q.env, model, plan, input_rows, threads, repeats,
+        )?);
+    }
+    let engine = Engine::new(empdept, &q.env, model).with_options(ExecOptions::with_threads(1));
+    let sorted = |plan: &Plan| -> Result<Vec<Tuple>> {
+        let rs = engine.execute(plan)?;
+        let positions: Vec<usize> = q
+            .projection
+            .iter()
+            .map(|c| {
+                rs.col_index(*c).ok_or_else(|| {
+                    AggViewError::PlanInvalid(format!("bench eager_agg: plan lost column {c}"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        let mut rows: Vec<Tuple> = rs.rows.iter().map(|r| r.project(&positions)).collect();
+        rows.sort();
+        Ok(rows)
+    };
+    let results_match = sorted(&eager_plan)? == sorted(&plain_plan)?;
+    let peak_ratio = shapes[1].peak_intermediate_bytes as f64
+        / (shapes[0].peak_intermediate_bytes as f64).max(1.0);
+    Ok(EagerAggReport {
+        shapes,
+        peak_ratio,
+        eager_plan_fired: contains_partial_aggregate(&eager_plan),
+        results_match,
     })
 }
 
@@ -1131,7 +1285,7 @@ fn join_kernel_report(
     let emit = JoinEmit::new(&positions, 4, true);
 
     let (current_ms, current) = time_best(repeats, || {
-        let index = build_index(&opts, &gov, dept_rows, &build_pos)?;
+        let index = build_index(&opts, &gov, dept_rows, &build_pos, None)?;
         probe_join(
             &opts,
             &gov,
@@ -1283,7 +1437,7 @@ fn batch_join_report(
     let positions = [0usize, 1, 2, 3, 4 + 1, 4 + emp::SAL];
     let emit = JoinEmit::new(&positions, 4, true);
     let (row_ms, row_out) = time_best(repeats, || {
-        let index = build_index(&opts, &gov, dept_rows, &build_pos)?;
+        let index = build_index(&opts, &gov, dept_rows, &build_pos, None)?;
         probe_join(
             &opts,
             &gov,
@@ -1300,7 +1454,7 @@ fn batch_join_report(
     let build = Batch::from_tuples(dept_rows, &identity(dept_types.len()), dept_types);
     let probe = Batch::from_tuples(emp_rows, &identity(emp_types.len()), emp_types);
     let (batch_ms, batch_out) = time_best(repeats, || {
-        let index = vector::build_index(&opts, &gov, &build, &build_pos)?;
+        let index = vector::build_index(&opts, &gov, &build, &build_pos, None)?;
         vector::probe_join(
             &opts,
             &gov,
@@ -1561,28 +1715,9 @@ impl ExecBenchReport {
         s.push_str(&format!("  \"plans_passed\": {},\n", self.plans_passed));
         s.push_str("  \"workloads\": [\n");
         for (i, w) in self.workloads.iter().enumerate() {
-            // On a single-core host the serial/parallel ratio measures
-            // scheduling noise, not scaling: suppress it rather than
-            // commit a misleading ~1.0 to the report.
-            let speedup = if self.host_cpus > 1 {
-                num(w.speedup)
-            } else {
-                "null".to_string()
-            };
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"input_rows\": {}, \"output_rows\": {}, \
-                 \"serial_ms\": {}, \"parallel_ms\": {}, \
-                 \"serial_rows_per_sec\": {}, \"parallel_rows_per_sec\": {}, \
-                 \"speedup\": {}, \"peak_intermediate_bytes\": {}}}{}\n",
-                w.name,
-                w.input_rows,
-                w.output_rows,
-                num(w.serial_ms),
-                num(w.parallel_ms),
-                num(w.serial_rows_per_sec),
-                num(w.parallel_rows_per_sec),
-                speedup,
-                w.peak_intermediate_bytes,
+                "    {}{}\n",
+                workload_json(w, self.host_cpus),
                 comma(i, self.workloads.len()),
             ));
         }
@@ -1657,6 +1792,24 @@ impl ExecBenchReport {
             "    \"mixed_demotions\": {}\n",
             self.serial_kernels.mixed_demotions
         ));
+        s.push_str("  },\n");
+        let ea = &self.eager_agg;
+        s.push_str("  \"eager_agg\": {\n");
+        s.push_str("    \"shapes\": [\n");
+        for (i, w) in ea.shapes.iter().enumerate() {
+            s.push_str(&format!(
+                "      {}{}\n",
+                workload_json(w, self.host_cpus),
+                comma(i, ea.shapes.len()),
+            ));
+        }
+        s.push_str("    ],\n");
+        s.push_str(&format!("    \"peak_ratio\": {},\n", num(ea.peak_ratio)));
+        s.push_str(&format!(
+            "    \"eager_plan_fired\": {},\n",
+            ea.eager_plan_fired
+        ));
+        s.push_str(&format!("    \"results_match\": {}\n", ea.results_match));
         s.push_str("  },\n");
         let sa = &self.static_analysis;
         s.push_str(&format!(
@@ -1775,6 +1928,19 @@ impl ExecBenchReport {
             d.checkpoint_ms,
             d.recover_after_checkpoint_ms
         ));
+        let ea = &self.eager_agg;
+        s.push_str(&format!(
+            "eager aggregation (self-join then group-by): peak {} bytes eager vs {} \
+             traditional ({:.1}x less), serial {:.2} ms vs {:.2} ms, \
+             plan fired: {}, results identical: {}\n",
+            ea.shapes.first().map_or(0, |w| w.peak_intermediate_bytes),
+            ea.shapes.get(1).map_or(0, |w| w.peak_intermediate_bytes),
+            ea.peak_ratio,
+            ea.shapes.first().map_or(0.0, |w| w.serial_ms),
+            ea.shapes.get(1).map_or(0.0, |w| w.serial_ms),
+            ea.eager_plan_fired,
+            ea.results_match
+        ));
         let sa = &self.static_analysis;
         s.push_str(&format!(
             "static analysis: {} plans analyzed, {} empty subtree(s) pruned, \
@@ -1862,6 +2028,35 @@ fn extract_u64(line: &str, key: &str) -> Option<u64> {
     rest[..end].parse().ok()
 }
 
+/// One workload measurement as a single-line JSON object — `name` and
+/// `peak_intermediate_bytes` must share the line for the naive
+/// [`check_peak_regression`] baseline scanner.
+fn workload_json(w: &WorkloadReport, host_cpus: usize) -> String {
+    // On a single-core host the serial/parallel ratio measures
+    // scheduling noise, not scaling: suppress it rather than commit a
+    // misleading ~1.0 to the report.
+    let speedup = if host_cpus > 1 {
+        num(w.speedup)
+    } else {
+        "null".to_string()
+    };
+    format!(
+        "{{\"name\": \"{}\", \"input_rows\": {}, \"output_rows\": {}, \
+         \"serial_ms\": {}, \"parallel_ms\": {}, \
+         \"serial_rows_per_sec\": {}, \"parallel_rows_per_sec\": {}, \
+         \"speedup\": {}, \"peak_intermediate_bytes\": {}}}",
+        w.name,
+        w.input_rows,
+        w.output_rows,
+        num(w.serial_ms),
+        num(w.parallel_ms),
+        num(w.serial_rows_per_sec),
+        num(w.parallel_rows_per_sec),
+        speedup,
+        w.peak_intermediate_bytes,
+    )
+}
+
 fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
@@ -1913,8 +2108,30 @@ mod tests {
             assert!(w.input_rows > 0, "{} input", w.name);
             assert!(w.serial_ms > 0.0 && w.parallel_ms > 0.0, "{} times", w.name);
         }
-        assert_eq!(report.plans_checked, 6, "every workload plan analyzed");
-        assert_eq!(report.plans_passed, 6, "every workload plan accepted");
+        assert_eq!(report.plans_checked, 8, "every workload plan analyzed");
+        assert_eq!(report.plans_passed, 8, "every workload plan accepted");
+        let ea = &report.eager_agg;
+        let shape_names: Vec<_> = ea.shapes.iter().map(|w| w.name).collect();
+        assert_eq!(shape_names, ["eager_agg_on", "eager_agg_off"]);
+        assert!(
+            ea.eager_plan_fired,
+            "eager optimizer must push a partial aggregate below the self-join"
+        );
+        assert!(
+            ea.results_match,
+            "eager and traditional shapes must compute identical results"
+        );
+        // The headline claim: partial aggregation below the join keeps
+        // the peak footprint at least 2x under the materialize-then-
+        // aggregate shape (measured bytes are deterministic).
+        assert!(
+            ea.peak_ratio >= 2.0,
+            "eager aggregation should cut measured peak bytes >= 2x, got {:.2}x \
+             (eager {} vs traditional {})",
+            ea.peak_ratio,
+            ea.shapes[0].peak_intermediate_bytes,
+            ea.shapes[1].peak_intermediate_bytes
+        );
         assert_eq!(
             report.serial_kernels.mixed_demotions, 0,
             "certified workloads must execute without Mixed demotions"
@@ -1946,7 +2163,12 @@ mod tests {
         assert_eq!(d.replay_records, 41);
         assert!(d.wal_insert_ms > 0.0 && d.replay_ms > 0.0 && d.checkpoint_ms > 0.0);
         let json = report.to_json();
-        assert!(json.contains("\"plans_passed\": 6"));
+        assert!(json.contains("\"plans_passed\": 8"));
+        assert!(json.contains("\"eager_agg\""));
+        assert!(json.contains("\"eager_agg_on\""));
+        assert!(json.contains("\"eager_agg_off\""));
+        assert!(json.contains("\"eager_plan_fired\": true"));
+        assert!(json.contains("\"results_match\": true"));
         assert!(json.contains("\"durability\""));
         assert!(json.contains("\"replay_records\": 41"));
         assert!(json.contains("\"incremental_matches_refresh\": true"));

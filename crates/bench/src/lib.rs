@@ -57,6 +57,7 @@ impl Variant {
                 push_down: false,
                 require_shared_predicate: true,
                 use_matviews: true,
+                use_eager_agg: false,
             },
             Variant::Full => OptimizerConfig::default(),
         }

@@ -86,6 +86,14 @@ impl AggFunc {
             AggFunc::StdDev => 3,
         }
     }
+
+    /// Whether the aggregate's value changes when input rows are
+    /// duplicated (the paper's duplicate-factor treatment): COUNT, SUM,
+    /// AVG, and STDDEV must be scaled by a join's replication count,
+    /// while MIN/MAX are insensitive to duplicates.
+    pub fn is_duplicate_sensitive(self) -> bool {
+        !matches!(self, AggFunc::Min | AggFunc::Max)
+    }
 }
 
 impl fmt::Display for AggFunc {
@@ -229,6 +237,58 @@ impl PartialAggState {
                 self.state[0] = Value::Float(s + x);
                 self.state[1] = Value::Float(q + x * x);
                 self.state[2] = Value::Int(checked_count(n, 1, "STDDEV count")?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Absorb one raw input value as if it occurred `n` times — the
+    /// duplicate-factor treatment eager aggregation needs when a join
+    /// replicates each kept-side row once per matching pushed-side
+    /// group (whose row count travels as a COUNT column).
+    ///
+    /// Equivalent to calling [`update`](Self::update) `n` times, but
+    /// exact for integer SUM/COUNT (checked multiply) and O(1). `n`
+    /// must be positive: a join match always carries at least one row.
+    pub fn update_weighted(&mut self, arg: Option<&Value>, n: i64) -> Result<()> {
+        if n <= 0 {
+            return Err(AggViewError::Exec(format!(
+                "non-positive duplicate factor {n} for {}",
+                self.func
+            )));
+        }
+        match self.func {
+            AggFunc::Count => {
+                let cur = state_i64(&self.state[0], "COUNT")?;
+                self.state[0] = Value::Int(checked_count(cur, n, "COUNT")?);
+            }
+            AggFunc::Sum => {
+                let v = require_arg(arg, "SUM")?;
+                let scaled = mul_numeric(v, n)?;
+                match self.state.first() {
+                    None => self.state.push(scaled),
+                    Some(cur) => self.state[0] = add_numeric(cur, &scaled)?,
+                }
+            }
+            // Duplicate-insensitive: the weight is irrelevant.
+            AggFunc::Min | AggFunc::Max => self.update(arg)?,
+            AggFunc::Avg => {
+                let v = require_arg(arg, "AVG")?;
+                let x = as_number(v, "AVG")?;
+                let s = state_f64(&self.state[0], "AVG sum")?;
+                let c = state_i64(&self.state[1], "AVG count")?;
+                self.state[0] = Value::Float(s + x * n as f64);
+                self.state[1] = Value::Int(checked_count(c, n, "AVG count")?);
+            }
+            AggFunc::StdDev => {
+                let v = require_arg(arg, "STDDEV")?;
+                let x = as_number(v, "STDDEV")?;
+                let s = state_f64(&self.state[0], "STDDEV sum")?;
+                let q = state_f64(&self.state[1], "STDDEV sumsq")?;
+                let c = state_i64(&self.state[2], "STDDEV count")?;
+                self.state[0] = Value::Float(s + x * n as f64);
+                self.state[1] = Value::Float(q + x * x * n as f64);
+                self.state[2] = Value::Int(checked_count(c, n, "STDDEV count")?);
             }
         }
         Ok(())
@@ -562,6 +622,17 @@ fn checked_retract_count(a: i64, b: i64, what: &str) -> Result<i64> {
     }
 }
 
+/// Scale a numeric value by an integer factor, staying exact for Int.
+fn mul_numeric(v: &Value, n: i64) -> Result<Value> {
+    match v {
+        Value::Int(x) => x
+            .checked_mul(n)
+            .map(Value::Int)
+            .ok_or_else(|| AggViewError::Exec(format!("SUM overflow ({x} * {n})"))),
+        _ => Ok(Value::Float(as_number(v, "SUM")? * n as f64)),
+    }
+}
+
 /// Subtract two numeric values, staying exact for Int − Int.
 fn sub_numeric(a: &Value, b: &Value) -> Result<Value> {
     match (a, b) {
@@ -861,6 +932,55 @@ mod tests {
         assert_eq!(a.count_component(), Some(1));
         let s = PartialAggState::empty(AggFunc::Sum);
         assert_eq!(s.count_component(), None);
+    }
+
+    /// Weighted update equals n plain updates for every function, with
+    /// exact integer arithmetic where the plain path is exact.
+    #[test]
+    fn weighted_update_equals_repeated_update() {
+        let vals = [Value::Int(3), Value::Float(12.5), Value::Int(-2)];
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+            AggFunc::StdDev,
+        ] {
+            for n in [1i64, 2, 7] {
+                let mut weighted = PartialAggState::empty(f);
+                let mut repeated = PartialAggState::empty(f);
+                for v in &vals {
+                    let arg = if f == AggFunc::Count { None } else { Some(v) };
+                    weighted.update_weighted(arg, n).unwrap();
+                    for _ in 0..n {
+                        repeated.update(arg).unwrap();
+                    }
+                }
+                assert_eq!(weighted, repeated, "{f} x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_update_rejects_non_positive_factor_and_overflow() {
+        let mut s = PartialAggState::empty(AggFunc::Sum);
+        assert!(s.update_weighted(Some(&Value::Int(1)), 0).is_err());
+        assert!(s.update_weighted(Some(&Value::Int(1)), -3).is_err());
+        let err = s
+            .update_weighted(Some(&Value::Int(i64::MAX)), 2)
+            .unwrap_err();
+        assert!(err.message().contains("SUM overflow"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_sensitivity_classification() {
+        assert!(AggFunc::Count.is_duplicate_sensitive());
+        assert!(AggFunc::Sum.is_duplicate_sensitive());
+        assert!(AggFunc::Avg.is_duplicate_sensitive());
+        assert!(AggFunc::StdDev.is_duplicate_sensitive());
+        assert!(!AggFunc::Min.is_duplicate_sensitive());
+        assert!(!AggFunc::Max.is_duplicate_sensitive());
     }
 
     #[test]

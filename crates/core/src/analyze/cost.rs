@@ -55,7 +55,9 @@ fn props_checked(
                 _ => return None,
             }
         }
-        Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => {
+        Plan::GroupBy { input, .. }
+        | Plan::PartialGroupBy { input, .. }
+        | Plan::PartialAggregate { input, .. } => {
             vec![props_checked(input, est, catalog, out)?]
         }
     };
@@ -73,6 +75,7 @@ fn props_checked(
         ("cost", props.cost),
         ("cardinality", props.card),
         ("width", props.width),
+        ("peak bytes", props.peak_bytes),
     ] {
         if !v.is_finite() || v < 0.0 {
             push(
@@ -146,7 +149,7 @@ fn props_checked(
                 );
             }
         }
-        Plan::GroupBy { .. } | Plan::PartialGroupBy { .. } => {
+        Plan::GroupBy { .. } | Plan::PartialGroupBy { .. } | Plan::PartialAggregate { .. } => {
             // The estimator floors group counts at one, so a grouping of
             // a sub-row estimate may legitimately report one group.
             let bound = children[0].card.max(1.0);

@@ -27,7 +27,7 @@ type Mutation = fn(&Plan) -> Option<Plan>;
 /// Every applicable single-site mutation of `plan`, one mutant per
 /// mutation kind, each corrupting the first matching node.
 pub fn mutants(plan: &Plan) -> Vec<Mutant> {
-    let kinds: [(&'static str, Mutation); 12] = [
+    let kinds: [(&'static str, Mutation); 15] = [
         ("drop-group-col", drop_group_col),
         ("move-having-below", move_having_below),
         ("swap-coalesce-func", swap_coalesce_func),
@@ -40,6 +40,9 @@ pub fn mutants(plan: &Plan) -> Vec<Mutant> {
         ("having-foreign-column", having_foreign_column),
         ("nonlocal-scan-filter", nonlocal_scan_filter),
         ("join-pred-unavailable", join_pred_unavailable),
+        ("eager-drop-pushed-key", eager_drop_pushed_key),
+        ("eager-drop-count", eager_drop_count),
+        ("eager-component-lie", eager_component_lie),
     ];
     kinds
         .into_iter()
@@ -120,6 +123,17 @@ fn map_first(plan: &Plan, f: &mut impl FnMut(&Plan) -> Option<Plan>) -> Option<P
             spec,
             project,
         } => map_first(input, f).map(|i| Plan::PartialGroupBy {
+            algo: *algo,
+            input: Box::new(i),
+            spec: spec.clone(),
+            project: project.clone(),
+        }),
+        Plan::PartialAggregate {
+            algo,
+            input,
+            spec,
+            project,
+        } => map_first(input, f).map(|i| Plan::PartialAggregate {
             algo: *algo,
             input: Box::new(i),
             spec: spec.clone(),
@@ -516,6 +530,92 @@ fn empty_scan_phantom_cover(node: &Plan) -> Option<Plan> {
         project: project.clone(),
         types: types.clone(),
         reason: reason.clone(),
+    })
+}
+
+/// Remove one pushed grouping column from an eager partial aggregate
+/// (and its projection): early grouping then merges rows the merge
+/// stage above still needs to tell apart (Definition 1, dualized).
+fn eager_drop_pushed_key(node: &Plan) -> Option<Plan> {
+    let Plan::PartialAggregate {
+        algo,
+        input,
+        spec,
+        project,
+    } = node
+    else {
+        return None;
+    };
+    let mut spec = spec.clone();
+    let g = spec.group_cols.pop()?;
+    if spec.group_cols.is_empty() {
+        return None; // plan-level validation would trip first
+    }
+    let project: Vec<Col> = project.iter().copied().filter(|c| *c != g).collect();
+    Some(Plan::PartialAggregate {
+        algo: *algo,
+        input: input.clone(),
+        spec,
+        project,
+    })
+}
+
+/// Strip the duplicate-factor count column from an eager partial
+/// aggregate: kept duplicate-sensitive aggregates above the join are
+/// then merged without compensation for join replication.
+fn eager_drop_count(node: &Plan) -> Option<Plan> {
+    let Plan::PartialAggregate {
+        algo,
+        input,
+        spec,
+        project,
+    } = node
+    else {
+        return None;
+    };
+    let count_col = spec.count_col()?;
+    let mut spec = spec.clone();
+    spec.count = None;
+    let project: Vec<Col> = project
+        .iter()
+        .copied()
+        .filter(|c| *c != count_col)
+        .collect();
+    Some(Plan::PartialAggregate {
+        algo: *algo,
+        input: input.clone(),
+        spec,
+        project,
+    })
+}
+
+/// Change the function of a pushed aggregate so the partial states it
+/// emits no longer match what the merge stage above expects.
+fn eager_component_lie(node: &Plan) -> Option<Plan> {
+    let Plan::PartialAggregate {
+        algo,
+        input,
+        spec,
+        project,
+    } = node
+    else {
+        return None;
+    };
+    let mut spec = spec.clone();
+    let (_, a) = spec.aggs.first_mut()?;
+    a.func = match a.func {
+        AggFunc::Sum => AggFunc::Count,
+        AggFunc::Count => AggFunc::Sum,
+        AggFunc::Min => AggFunc::Max,
+        AggFunc::Max => AggFunc::Min,
+        AggFunc::Avg => AggFunc::Sum,
+        AggFunc::StdDev => AggFunc::Avg,
+    };
+    Some(Plan::PartialAggregate {
+        algo: *algo,
+        input: input.clone(),
+        spec,
+        project: project.clone(),
     })
 }
 

@@ -19,10 +19,10 @@
 //!   root.
 
 use super::Violation;
-use crate::plan::{GroupBySpec, Plan};
+use crate::plan::{GroupBySpec, PartialAggSpec, Plan};
 use crate::query::CanonicalQuery;
 use crate::transform::props::{is_fk_join_into, output_key};
-use aggview_common::{Col, RelId, ViewId};
+use aggview_common::{Col, Predicate, RelId, ViewId};
 use aggview_storage::{stores_partial_state, Catalog};
 use std::collections::BTreeSet;
 
@@ -31,6 +31,7 @@ pub(crate) const RULE_INVARIANT: &str = "invariant-grouping";
 pub(crate) const RULE_COALESCE: &str = "coalescing-merge";
 pub(crate) const RULE_DEGRADED: &str = "degraded-shape";
 pub(crate) const RULE_MATVIEW: &str = "matview-extent";
+pub(crate) const RULE_PARTIAL_AGG: &str = "partial-aggregate";
 
 // ---------------------------------------------------------------------
 // Pull-up key rule (Definition 1).
@@ -156,7 +157,9 @@ fn exposes_top_group(plan: &Plan) -> bool {
         Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => false,
         Plan::Join { left, right, .. } => exposes_top_group(left) || exposes_top_group(right),
         Plan::GroupBy { spec, .. } => spec.owner == ViewId::Top,
-        Plan::PartialGroupBy { input, .. } => exposes_top_group(input),
+        Plan::PartialGroupBy { input, .. } | Plan::PartialAggregate { input, .. } => {
+            exposes_top_group(input)
+        }
     }
 }
 
@@ -244,6 +247,156 @@ fn coalescing_walk<'p>(plan: &'p Plan, nearest: Option<&'p GroupBySpec>, out: &m
             }
             coalescing_walk(input, nearest, out);
         }
+        // The eager partial aggregate's merge relationship is governed by
+        // the dedicated partial-aggregate rule; only recurse here.
+        Plan::PartialAggregate { input, .. } => coalescing_walk(input, nearest, out),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Eager partial aggregation (pull-up/push-down duality).
+// ---------------------------------------------------------------------
+
+/// Check every eager partial aggregate against the push-down legality
+/// conditions dual to the paper's pull-up rule:
+///
+/// * **merge stage** — each pushed aggregate must be re-assembled by the
+///   nearest full group-by above under the same identity, function and
+///   argument (Figure 2);
+/// * **pushed keys** (Definition 1, dualized) — the pushed grouping
+///   columns must cover every final grouping column this subtree
+///   produces *and* every subtree column referenced by a predicate
+///   evaluated between this node and the merge, or early grouping would
+///   merge rows the joins and filters above still need to tell apart;
+/// * **duplicate factor** — when the merge re-aggregates partner-side
+///   duplicate-sensitive aggregates, the node must carry the per-group
+///   count column that scales them for join replication.
+pub(crate) fn check_partial_aggregate(plan: &Plan, out: &mut Vec<Violation>) {
+    pa_walk(plan, None, &mut Vec::new(), out);
+}
+
+fn pa_walk<'p>(
+    plan: &'p Plan,
+    nearest: Option<&'p GroupBySpec>,
+    preds_above: &mut Vec<&'p Predicate>,
+    out: &mut Vec<Violation>,
+) {
+    match plan {
+        Plan::Scan { .. } | Plan::EmptyScan { .. } | Plan::ExtentScan { .. } => {}
+        Plan::Join {
+            left, right, preds, ..
+        } => {
+            let n = preds_above.len();
+            preds_above.extend(preds.iter());
+            pa_walk(left, nearest, preds_above, out);
+            pa_walk(right, nearest, preds_above, out);
+            preds_above.truncate(n);
+        }
+        // A full group-by finalizes: predicates above it no longer see
+        // pre-aggregation rows, so the pending set restarts.
+        Plan::GroupBy { input, spec, .. } => pa_walk(input, Some(spec), &mut Vec::new(), out),
+        Plan::PartialGroupBy { input, .. } => pa_walk(input, nearest, preds_above, out),
+        Plan::PartialAggregate { input, spec, .. } => {
+            check_eager_node(input, spec, nearest, preds_above, out);
+            pa_walk(input, nearest, preds_above, out);
+        }
+    }
+}
+
+fn check_eager_node(
+    input: &Plan,
+    spec: &PartialAggSpec,
+    nearest: Option<&GroupBySpec>,
+    preds_above: &[&Predicate],
+    out: &mut Vec<Violation>,
+) {
+    let Some(g) = nearest else {
+        out.push(Violation::new(
+            RULE_PARTIAL_AGG,
+            "eager partial aggregate produces partial states but no group-by above \
+             merges them (Figure 2)"
+                .into(),
+        ));
+        return;
+    };
+    // Merge stage: identity, function and argument must line up.
+    for (aref, a) in &spec.aggs {
+        if aref.owner != g.owner {
+            out.push(Violation::new(
+                RULE_PARTIAL_AGG,
+                format!(
+                    "eager partial aggregate decomposes {aref} but the nearest group-by \
+                     above is {} (Figure 2 merge-stage mismatch)",
+                    g.owner
+                ),
+            ));
+            continue;
+        }
+        match g.aggs.get(aref.idx as usize) {
+            None => out.push(Violation::new(
+                RULE_PARTIAL_AGG,
+                format!(
+                    "eager partial aggregate decomposes {aref} but {} declares only {} \
+                     aggregate(s)",
+                    g.owner,
+                    g.aggs.len()
+                ),
+            )),
+            Some(up) if up.func != a.func || up.arg != a.arg => out.push(Violation::new(
+                RULE_PARTIAL_AGG,
+                format!(
+                    "eager merge mismatch for {aref}: the partial stage computes `{a}` \
+                     but the merge stage expects `{up}`"
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    // Pushed keys: the final grouping columns this subtree produces and
+    // every subtree column a predicate above still inspects.
+    let avail: BTreeSet<Col> = input.output_cols().iter().copied().collect();
+    let pushed: BTreeSet<Col> = spec.group_cols.iter().copied().collect();
+    let mut required: BTreeSet<Col> = g
+        .group_cols
+        .iter()
+        .copied()
+        .filter(|c| avail.contains(c))
+        .collect();
+    for p in preds_above {
+        required.extend(p.cols_used().into_iter().filter(|c| avail.contains(c)));
+    }
+    for c in required {
+        if !pushed.contains(&c) {
+            out.push(Violation::new(
+                RULE_PARTIAL_AGG,
+                format!(
+                    "eager partial aggregate drops {c} from its pushed grouping columns, \
+                     but the merge above still groups or joins on it (Definition 1)"
+                ),
+            ));
+        }
+    }
+    // Duplicate factor: kept duplicate-sensitive aggregates on the
+    // partner side are scaled by this node's per-group count.
+    let decomposed: BTreeSet<u32> = spec
+        .aggs
+        .iter()
+        .filter(|(r, _)| r.owner == g.owner)
+        .map(|(r, _)| r.idx)
+        .collect();
+    let kept_dup_sensitive = g
+        .aggs
+        .iter()
+        .enumerate()
+        .any(|(i, a)| !decomposed.contains(&(i as u32)) && a.func.is_duplicate_sensitive());
+    if kept_dup_sensitive && spec.count.is_none() {
+        out.push(Violation::new(
+            RULE_PARTIAL_AGG,
+            "merge above the eager partial aggregate re-aggregates duplicate-sensitive \
+             partner-side aggregates, but the node carries no per-group count column to \
+             scale them (duplicate-factor compensation)"
+                .into(),
+        ));
     }
 }
 
@@ -340,6 +493,12 @@ pub(crate) fn check_degraded_shape(plan: &Plan, query: &CanonicalQuery, out: &mu
              performs no coalescing"
                 .into(),
         )),
+        Plan::PartialAggregate { .. } => out.push(Violation::new(
+            RULE_DEGRADED,
+            "degraded plan contains an eager partial aggregate; the traditional two-phase \
+             plan performs no early aggregation"
+                .into(),
+        )),
         Plan::GroupBy { input, spec, .. } => match spec.owner {
             ViewId::Top => top_count += 1,
             ViewId::View(i) => {
@@ -397,7 +556,9 @@ fn walk<'p>(plan: &'p Plan, f: &mut impl FnMut(&'p Plan)) {
             walk(left, f);
             walk(right, f);
         }
-        Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => walk(input, f),
+        Plan::GroupBy { input, .. }
+        | Plan::PartialGroupBy { input, .. }
+        | Plan::PartialAggregate { input, .. } => walk(input, f),
     }
 }
 
@@ -421,7 +582,10 @@ impl EquivClasses {
             let preds = match node {
                 Plan::Scan { filters, .. } | Plan::ExtentScan { filters, .. } => filters.as_slice(),
                 Plan::Join { preds, .. } => preds.as_slice(),
-                Plan::GroupBy { .. } | Plan::PartialGroupBy { .. } | Plan::EmptyScan { .. } => &[],
+                Plan::GroupBy { .. }
+                | Plan::PartialGroupBy { .. }
+                | Plan::PartialAggregate { .. }
+                | Plan::EmptyScan { .. } => &[],
             };
             for p in preds {
                 if let Some(pair) = p.as_col_eq_col() {

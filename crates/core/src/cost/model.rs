@@ -38,6 +38,13 @@ pub struct PlanProps {
     pub card: f64,
     /// Estimated output row width in bytes.
     pub width: f64,
+    /// Estimated peak intermediate bytes held at any moment while
+    /// executing this subtree: the largest of any child's peak, this
+    /// node's own output (card × width), and — for hash joins — the
+    /// build side retained alongside the output. Priced separately from
+    /// `cost` so IO-cost comparisons stay unchanged; the optimizer's
+    /// never-worse rule consults both.
+    pub peak_bytes: f64,
     /// Per-output-column distinct-value estimates.
     pub distinct: BTreeMap<Col, f64>,
 }
@@ -46,6 +53,11 @@ impl PlanProps {
     /// Estimated output size in pages.
     pub fn pages(&self, page: &PageModel) -> f64 {
         page.pages_for(self.card, self.width)
+    }
+
+    /// Estimated output size in bytes.
+    pub fn out_bytes(&self) -> f64 {
+        self.card * self.width
     }
 }
 
@@ -158,6 +170,7 @@ impl<'a> CardEstimator<'a> {
                     cost: 0.0,
                     card: 0.0,
                     width,
+                    peak_bytes: 0.0,
                     distinct: project.iter().map(|c| (*c, 1.0)).collect(),
                 })
             }
@@ -204,6 +217,7 @@ impl<'a> CardEstimator<'a> {
                     cost: ops::scan_io(table_pages),
                     card,
                     width,
+                    peak_bytes: card * width,
                     distinct,
                 })
             }
@@ -246,10 +260,18 @@ impl<'a> CardEstimator<'a> {
                         ops::join_io(*a, &sides, preds, mem)
                     }
                 };
+                // The probe streams, but the build side (the smaller
+                // input) is held while the output accumulates.
+                let build_bytes = l.out_bytes().min(r.out_bytes());
+                let peak_bytes = l
+                    .peak_bytes
+                    .max(r.peak_bytes)
+                    .max(card * width + build_bytes);
                 Ok(PlanProps {
                     cost: l.cost + r.cost + extra,
                     card,
                     width,
+                    peak_bytes,
                     distinct,
                 })
             }
@@ -302,6 +324,7 @@ impl<'a> CardEstimator<'a> {
                     cost: i.cost + extra,
                     card,
                     width,
+                    peak_bytes: i.peak_bytes.max(groups * width),
                     distinct,
                 })
             }
@@ -351,6 +374,60 @@ impl<'a> CardEstimator<'a> {
                     cost: i.cost + extra,
                     card: groups,
                     width,
+                    peak_bytes: i.peak_bytes.max(groups * width),
+                    distinct,
+                })
+            }
+            Plan::PartialAggregate {
+                algo,
+                input,
+                spec,
+                project,
+            } => {
+                let i = self.cost_plan(input)?;
+                let domain: f64 = spec
+                    .group_cols
+                    .iter()
+                    .map(|c| i.distinct.get(c).copied().unwrap_or(DEFAULT_AGG_DISTINCT))
+                    .fold(1.0, |a, b| (a * b).min(1e18));
+                let groups = Self::yao_distinct(domain, i.card);
+                let mut distinct: BTreeMap<Col, f64> = spec
+                    .group_cols
+                    .iter()
+                    .map(|c| {
+                        (
+                            *c,
+                            i.distinct
+                                .get(c)
+                                .copied()
+                                .unwrap_or(DEFAULT_AGG_DISTINCT)
+                                .min(groups.max(1.0)),
+                        )
+                    })
+                    .collect();
+                for (aref, a) in &spec.aggs {
+                    for k in 0..a.func.partial_arity() {
+                        distinct.insert(Col::part(*aref, k), groups.max(1.0));
+                    }
+                }
+                if let Some(c) = spec.count_col() {
+                    distinct.insert(c, groups.max(1.0));
+                }
+                distinct.retain(|c, _| project.contains(c));
+                let width: f64 = project.iter().map(|c| self.col_width(*c)).sum();
+                let in_pages = i.pages(&self.model.page);
+                let out_pages = self.model.page.pages_for(groups, width.max(1.0));
+                let io = self.model.io;
+                let extra = match algo {
+                    AggAlgo::Auto => ops::best_agg(in_pages, out_pages, &io).1,
+                    AggAlgo::Hash => ops::hash_agg_io(in_pages, out_pages, &io),
+                    AggAlgo::Sort => ops::sort_agg_io(in_pages, io.mem_pages),
+                };
+                Ok(PlanProps {
+                    cost: i.cost + extra,
+                    card: groups,
+                    width,
+                    peak_bytes: i.peak_bytes.max(groups * width),
                     distinct,
                 })
             }
@@ -414,10 +491,57 @@ impl<'a> CardEstimator<'a> {
                     cost: ops::scan_io(table_pages),
                     card,
                     width,
+                    peak_bytes: card * width,
                     distinct,
                 })
             }
         }
+    }
+
+    /// [`Plan::explain`] with each operator line annotated with the
+    /// estimated peak intermediate bytes of its subtree (backs the
+    /// REPL's `.explain` and `.lint`). Operators whose subtree cannot be
+    /// costed (e.g. stale statistics) are left unannotated.
+    pub fn explain_with_peaks(&self, plan: &Plan) -> String {
+        let mut peaks = Vec::new();
+        self.collect_peaks(plan, &mut peaks);
+        let mut out = String::new();
+        for (line, peak) in plan.explain().lines().zip(peaks) {
+            out.push_str(line);
+            if let Some(p) = peak {
+                out.push_str(&format!("  ~peak {}", fmt_bytes(p)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Pre-order per-node peak estimates, in the same order
+    /// `explain_into` emits lines (one per node; join children
+    /// left-then-right).
+    fn collect_peaks(&self, plan: &Plan, out: &mut Vec<Option<f64>>) {
+        out.push(self.cost_plan(plan).ok().map(|p| p.peak_bytes));
+        match plan {
+            Plan::Join { left, right, .. } => {
+                self.collect_peaks(left, out);
+                self.collect_peaks(right, out);
+            }
+            Plan::GroupBy { input, .. }
+            | Plan::PartialGroupBy { input, .. }
+            | Plan::PartialAggregate { input, .. } => self.collect_peaks(input, out),
+            Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => {}
+        }
+    }
+}
+
+/// Compact human-readable byte count for EXPLAIN annotations.
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e6 {
+        format!("{:.1}MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1}KB", b / 1e3)
+    } else {
+        format!("{b:.0}B")
     }
 }
 

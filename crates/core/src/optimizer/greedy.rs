@@ -28,7 +28,7 @@ use crate::governor::ResourceGovernor;
 use crate::optimizer::dp::{DpEntry, DpItem};
 use crate::optimizer::stats::SearchStats;
 use crate::optimizer::OptimizerConfig;
-use crate::plan::{GroupBySpec, PartialGroupSpec, Plan};
+use crate::plan::{GroupBySpec, PartialAggSpec, PartialGroupSpec, Plan};
 use crate::transform::props::output_key;
 use aggview_common::{AggRef, AggViewError, Col, Predicate, Result};
 use aggview_storage::Catalog;
@@ -411,6 +411,89 @@ impl Ctx<'_, '_> {
             && !avail.is_empty()
     }
 
+    /// Is an *eager partial aggregation* (Yan–Larson push-down) legal
+    /// over `prior`? Unlike simple coalescing, only the aggregates whose
+    /// arguments live entirely inside `prior` are pushed; aggregates on
+    /// the partner side stay at the merge, scaled by the carried
+    /// per-group count. Every aggregate must classify cleanly as pushed
+    /// (arguments available and decomposable) or kept (arguments fully
+    /// outside), and at least one must be kept — otherwise simple
+    /// coalescing already covers the shape.
+    fn eager_placement_ok(&self, prior: u64, prior_plan: &Plan) -> bool {
+        let Some(g) = &self.q.group else { return false };
+        if g.aggs.is_empty() || prior == (1u64 << self.q.items.len()) - 1 {
+            return false;
+        }
+        let avail: BTreeSet<Col> = prior_plan.output_cols().iter().copied().collect();
+        if avail.is_empty() || self.eager_group_cols(g, &avail).is_empty() {
+            return false;
+        }
+        let mut kept = 0usize;
+        for a in &g.aggs {
+            let cols = a.cols_used();
+            if cols.iter().all(|c| avail.contains(c)) {
+                // COUNT(*) (no argument columns) always pushes.
+                if !a.func.is_decomposable() {
+                    return false;
+                }
+            } else if cols.iter().all(|c| !avail.contains(c)) {
+                kept += 1;
+            } else {
+                // Arguments span both sides: no clean decomposition.
+                return false;
+            }
+        }
+        kept >= 1
+    }
+
+    /// Pushed grouping keys of an eager node over a subtree producing
+    /// `avail`: the block's grouping columns inside the subtree plus the
+    /// operands of still-pending (join) predicates — Definition 1's
+    /// "grouping columns extended with join keys". Pushed aggregate
+    /// arguments are deliberately *not* keys: the partial node consumes
+    /// them.
+    fn eager_group_cols(&self, g: &GroupBySpec, avail: &BTreeSet<Col>) -> Vec<Col> {
+        let mut group_cols: Vec<Col> = Vec::new();
+        let mut seen = BTreeSet::new();
+        for c in g.group_cols.iter().filter(|c| avail.contains(c)) {
+            if seen.insert(*c) {
+                group_cols.push(*c);
+            }
+        }
+        for p in &self.q.preds {
+            if !p.cols_used().iter().all(|c| avail.contains(c)) {
+                for c in p.cols_used() {
+                    if avail.contains(&c) && seen.insert(c) {
+                        group_cols.push(c);
+                    }
+                }
+            }
+        }
+        group_cols
+    }
+
+    /// Build the eager partial-aggregate node over `prior_plan`: pushed
+    /// grouping keys are the block's grouping columns inside `prior`
+    /// plus the operands of still-pending (join) predicates, and the
+    /// node always carries the duplicate-factor COUNT(*) so the merge
+    /// can scale the partner side's duplicate-sensitive aggregates.
+    fn make_eager(&self, prior_plan: &Plan) -> Plan {
+        let g = self.q.group.as_ref().expect("checked by caller");
+        let avail: BTreeSet<Col> = prior_plan.output_cols().iter().copied().collect();
+        let spec = PartialAggSpec {
+            group_cols: self.eager_group_cols(g, &avail),
+            aggs: g
+                .aggs
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.cols_used().iter().all(|c| avail.contains(c)))
+                .map(|(i, a)| (AggRef::new(g.owner, i), a.clone()))
+                .collect(),
+            count: Some(AggRef::new(g.owner, g.aggs.len())),
+        };
+        Plan::partial_aggregate_all(prior_plan.clone(), spec)
+    }
+
     /// Build the partial group-by node over `prior_plan`.
     fn make_partial(&self, prior_plan: &Plan) -> Plan {
         let g = self.q.group.as_ref().expect("checked by caller");
@@ -515,6 +598,9 @@ fn extend(
             if ctx.coalesce_placement_ok(prior, &sub.plan) {
                 alternatives.push((ctx.make_partial(&sub.plan), GState::Partial));
             }
+            if ctx.config.use_eager_agg && ctx.eager_placement_ok(prior, &sub.plan) {
+                alternatives.push((ctx.make_eager(&sub.plan), GState::Partial));
+            }
             for (early, state) in alternatives {
                 stats.groupby_placements += 1;
                 // Join predicates recomputed against the grouped output.
@@ -539,9 +625,16 @@ fn extend(
                 // whose state columns widen rows while collapsing
                 // cardinality. Adopt the early-group-by plan only when
                 // it is locally cheaper and produces no more data.
+                // Peak intermediate bytes joins the rule: an early
+                // aggregation that would hold a larger working set than
+                // the plain join (e.g. a wide partial-state table) is
+                // rejected even when its IO cost is lower.
                 let plain_bytes = plain_props.card * plain_props.width;
                 let cand_bytes = props.card * props.width;
-                if props.cost < chosen.cost && cand_bytes <= plain_bytes + 1e-6 {
+                if props.cost < chosen.cost
+                    && cand_bytes <= plain_bytes + 1e-6
+                    && props.peak_bytes <= plain_props.peak_bytes + 1e-6
+                {
                     chosen = Entry {
                         plan: candidate,
                         cost: props.cost,

@@ -72,6 +72,11 @@ pub struct OptimizerConfig {
     /// only when cheaper than the best inlined plan, so the never-worse
     /// guarantee is preserved).
     pub use_matviews: bool,
+    /// Consider eager partial aggregation below join inputs (Yan–Larson
+    /// push-down with duplicate-factor compensation). Cost-based with
+    /// the same never-worse rule as coalescing: adopted only when
+    /// strictly cheaper and no larger in peak intermediate bytes.
+    pub use_eager_agg: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -81,8 +86,21 @@ impl Default for OptimizerConfig {
             push_down: true,
             require_shared_predicate: true,
             use_matviews: true,
+            use_eager_agg: eager_agg_from_env(),
         }
     }
+}
+
+/// `AGGVIEW_EAGER_AGG` when set to `off`/`0`/`false` disables eager
+/// aggregation in the default configuration; anything else enables it.
+fn eager_agg_from_env() -> bool {
+    !matches!(
+        std::env::var("AGGVIEW_EAGER_AGG")
+            .ok()
+            .as_deref()
+            .map(str::trim),
+        Some("off") | Some("0") | Some("false")
+    )
 }
 
 impl OptimizerConfig {
@@ -94,6 +112,7 @@ impl OptimizerConfig {
             push_down: false,
             require_shared_predicate: true,
             use_matviews: false,
+            use_eager_agg: false,
         }
     }
 
@@ -105,6 +124,7 @@ impl OptimizerConfig {
             push_down: true,
             require_shared_predicate: true,
             use_matviews: true,
+            use_eager_agg: true,
         }
     }
 }

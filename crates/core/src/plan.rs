@@ -136,6 +136,57 @@ impl PartialGroupSpec {
     }
 }
 
+/// An *eager* partial aggregate placed below a join input (the paper's
+/// push-down direction, Yan–Larson eager aggregation): folds one join
+/// input down to its groups **before** the join materializes anything,
+/// so the join sees |group × joinkey| rows instead of |R|.
+///
+/// Structurally it produces the same partial-state columns as
+/// [`PartialGroupSpec`], plus (when `count` is set) a per-group row
+/// count the merge above the join uses as the duplicate factor: each
+/// duplicate-sensitive aggregate kept on the *partner* side must be
+/// scaled by how many pushed-side rows its join match stands for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialAggSpec {
+    /// Pushed grouping columns: the final grouping columns this side
+    /// produces, extended with the join keys that flow upward
+    /// (Definition 1: pushed keys ⊇ pull-up keys).
+    pub group_cols: Vec<Col>,
+    /// The final aggregates whose *local* phase is computed here, with
+    /// their identities in the merge group-by above.
+    pub aggs: Vec<(AggRef, AggSpec)>,
+    /// Identity of the per-group COUNT(*) column emitted as the
+    /// duplicate factor; `None` when every kept partner-side aggregate
+    /// is duplicate-insensitive (MIN/MAX) and no compensation is
+    /// needed.
+    pub count: Option<AggRef>,
+}
+
+impl PartialAggSpec {
+    /// The partial-state component columns produced for aggregate `i`.
+    pub fn part_cols(&self, i: usize) -> Vec<Col> {
+        let (aref, spec) = &self.aggs[i];
+        (0..spec.func.partial_arity())
+            .map(|k| Col::part(*aref, k))
+            .collect()
+    }
+
+    /// The duplicate-factor count column, when one is emitted.
+    pub fn count_col(&self) -> Option<Col> {
+        self.count.map(|aref| Col::part(aref, 0))
+    }
+
+    /// All partial-state columns produced, in aggregate order, with the
+    /// count column (if any) last.
+    pub fn all_part_cols(&self) -> Vec<Col> {
+        let mut cols: Vec<Col> = (0..self.aggs.len())
+            .flat_map(|i| self.part_cols(i))
+            .collect();
+        cols.extend(self.count_col());
+        cols
+    }
+}
+
 /// An execution plan / operator tree.
 ///
 /// Every node carries its projection list, which is also its output
@@ -182,6 +233,18 @@ pub enum Plan {
         input: Box<Plan>,
         spec: PartialGroupSpec,
         /// Output columns (grouping columns and partial-state columns).
+        project: Vec<Col>,
+    },
+    /// Eager partial aggregation below a join (push-down): produces
+    /// pushed group keys, partial aggregate states, and (optionally)
+    /// the per-group duplicate-factor count. No HAVING — predicates
+    /// over aggregates wait for the merge group-by above the join.
+    PartialAggregate {
+        algo: AggAlgo,
+        input: Box<Plan>,
+        spec: PartialAggSpec,
+        /// Output columns (pushed grouping columns, partial-state
+        /// columns, and the count column when present).
         project: Vec<Col>,
     },
     /// Scan a materialized aggregate-view extent in place of the view's
@@ -293,6 +356,19 @@ impl Plan {
         }
     }
 
+    /// Eager partial aggregate projecting all pushed keys, partial
+    /// columns, and the count column (if any).
+    pub fn partial_aggregate_all(input: Plan, spec: PartialAggSpec) -> Plan {
+        let mut project = spec.group_cols.clone();
+        project.extend(spec.all_part_cols());
+        Plan::PartialAggregate {
+            algo: AggAlgo::Auto,
+            input: Box::new(input),
+            spec,
+            project,
+        }
+    }
+
     /// Scan of a materialized-view extent with explicit column mapping.
     #[allow(clippy::too_many_arguments)]
     pub fn extent_scan(
@@ -337,6 +413,7 @@ impl Plan {
             | Plan::Join { project, .. }
             | Plan::GroupBy { project, .. }
             | Plan::PartialGroupBy { project, .. }
+            | Plan::PartialAggregate { project, .. }
             | Plan::ExtentScan { project, .. }
             | Plan::EmptyScan { project, .. } => project,
         }
@@ -350,6 +427,7 @@ impl Plan {
             | Plan::Join { project, .. }
             | Plan::GroupBy { project, .. }
             | Plan::PartialGroupBy { project, .. }
+            | Plan::PartialAggregate { project, .. }
             | Plan::ExtentScan { project, .. } => *project = new_project,
             Plan::EmptyScan { project, types, .. } => {
                 // Keep the recorded types parallel to the projection.
@@ -377,7 +455,9 @@ impl Plan {
         match self {
             Plan::Scan { rel, .. } => rel.bit(),
             Plan::Join { left, right, .. } => left.rel_set() | right.rel_set(),
-            Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => input.rel_set(),
+            Plan::GroupBy { input, .. }
+            | Plan::PartialGroupBy { input, .. }
+            | Plan::PartialAggregate { input, .. } => input.rel_set(),
             Plan::ExtentScan { covers, .. } | Plan::EmptyScan { covers, .. } => {
                 covers.iter().fold(0, |s, r| s | r.bit())
             }
@@ -395,9 +475,9 @@ impl Plan {
         match self {
             Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => 0,
             Plan::Join { left, right, .. } => left.group_by_count() + right.group_by_count(),
-            Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => {
-                1 + input.group_by_count()
-            }
+            Plan::GroupBy { input, .. }
+            | Plan::PartialGroupBy { input, .. }
+            | Plan::PartialAggregate { input, .. } => 1 + input.group_by_count(),
         }
     }
 
@@ -406,7 +486,9 @@ impl Plan {
         match self {
             Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => 0,
             Plan::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
-            Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => input.join_count(),
+            Plan::GroupBy { input, .. }
+            | Plan::PartialGroupBy { input, .. }
+            | Plan::PartialAggregate { input, .. } => input.join_count(),
         }
     }
 
@@ -590,6 +672,50 @@ impl Plan {
                 }
                 Ok(project.iter().copied().collect())
             }
+            Plan::PartialAggregate {
+                input,
+                spec,
+                project,
+                ..
+            } => {
+                let child = input.validate_inner(catalog, rel_tables)?;
+                if spec.group_cols.is_empty() {
+                    return Err(AggViewError::Plan(
+                        "eager partial aggregate with no pushed grouping columns".into(),
+                    ));
+                }
+                for g in &spec.group_cols {
+                    if !child.contains(g) {
+                        return Err(AggViewError::Plan(format!(
+                            "eager partial aggregate groups on unavailable column {g}"
+                        )));
+                    }
+                }
+                for (_, a) in &spec.aggs {
+                    if !a.func.is_decomposable() {
+                        return Err(AggViewError::Plan(format!(
+                            "eager partial aggregate over non-decomposable aggregate `{a}`"
+                        )));
+                    }
+                    for c in a.cols_used() {
+                        if !child.contains(&c) {
+                            return Err(AggViewError::Plan(format!(
+                                "eager partial aggregate `{a}` reads unavailable column {c}"
+                            )));
+                        }
+                    }
+                }
+                let mut avail: BTreeSet<Col> = spec.group_cols.iter().copied().collect();
+                avail.extend(spec.all_part_cols());
+                for c in project {
+                    if !avail.contains(c) {
+                        return Err(AggViewError::Plan(format!(
+                            "eager partial aggregate projects unavailable column {c}"
+                        )));
+                    }
+                }
+                Ok(project.iter().copied().collect())
+            }
             Plan::ExtentScan {
                 view,
                 table,
@@ -732,6 +858,32 @@ impl Plan {
                     gs.join(", "),
                     aggs.join(", ")
                 );
+                input.explain_into(out, depth + 1);
+            }
+            Plan::PartialAggregate {
+                algo, input, spec, ..
+            } => {
+                let gs: Vec<String> = spec.group_cols.iter().map(|c| c.to_string()).collect();
+                let aggs: Vec<String> = spec
+                    .aggs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (r, a))| {
+                        let parts: Vec<String> =
+                            spec.part_cols(i).iter().map(|c| c.to_string()).collect();
+                        format!("{a} as {r} -> [{}]", parts.join(", "))
+                    })
+                    .collect();
+                let _ = write!(
+                    out,
+                    "{pad}PartialAggregate[{algo}] keys [{}] agg [{}]",
+                    gs.join(", "),
+                    aggs.join(", ")
+                );
+                if let Some(c) = spec.count_col() {
+                    let _ = write!(out, " dup-count {c}");
+                }
+                let _ = writeln!(out);
                 input.explain_into(out, depth + 1);
             }
             Plan::ExtentScan {
@@ -984,6 +1136,85 @@ mod tests {
         let plan = Plan::group_by_all(join, final_spec);
         plan.validate(&cat, &rels).unwrap();
         assert_eq!(plan.group_by_count(), 2);
+    }
+
+    #[test]
+    fn eager_pipeline_validates_and_explains() {
+        // PartialAggregate → Join → GroupBy merge with duplicate-factor
+        // compensation for the kept COUNT(*).
+        let (cat, rels) = setup();
+        let sum_ref = AggRef::new(ViewId::Top, 0);
+        let cnt_ref = AggRef::new(ViewId::Top, 2);
+        let sum = AggSpec::new(AggFunc::Sum, Expr::col(Col::base(RelId(0), 3)));
+        let eager = Plan::partial_aggregate_all(
+            emp_scan(),
+            PartialAggSpec {
+                group_cols: vec![Col::base(RelId(0), 2)],
+                aggs: vec![(sum_ref, sum.clone())],
+                count: Some(cnt_ref),
+            },
+        );
+        assert_eq!(
+            eager.output_cols(),
+            &[
+                Col::base(RelId(0), 2),
+                Col::part(sum_ref, 0),
+                Col::part(cnt_ref, 0)
+            ]
+        );
+        let join = Plan::join_all(
+            eager,
+            dept_scan(),
+            vec![Predicate::eq_cols(
+                Col::base(RelId(0), 2),
+                Col::base(RelId(1), 0),
+            )],
+        );
+        let plan = Plan::group_by_all(
+            join,
+            GroupBySpec {
+                owner: ViewId::Top,
+                group_cols: vec![Col::base(RelId(0), 2)],
+                aggs: vec![sum, AggSpec::count_star()],
+                having: vec![],
+            },
+        );
+        plan.validate(&cat, &rels).unwrap();
+        assert_eq!(plan.group_by_count(), 2);
+        let text = plan.explain();
+        assert!(text.contains("PartialAggregate"), "{text}");
+        assert!(text.contains("keys ["), "{text}");
+        assert!(text.contains("dup-count"), "{text}");
+    }
+
+    #[test]
+    fn eager_requires_pushed_keys_and_available_columns() {
+        let (cat, rels) = setup();
+        let aref = AggRef::new(ViewId::Top, 0);
+        let keyless = Plan::partial_aggregate_all(
+            emp_scan(),
+            PartialAggSpec {
+                group_cols: vec![],
+                aggs: vec![(
+                    aref,
+                    AggSpec::new(AggFunc::Sum, Expr::col(Col::base(RelId(0), 3))),
+                )],
+                count: None,
+            },
+        );
+        assert!(keyless.validate(&cat, &rels).is_err());
+        let foreign = Plan::partial_aggregate_all(
+            emp_scan(),
+            PartialAggSpec {
+                group_cols: vec![Col::base(RelId(0), 2)],
+                aggs: vec![(
+                    aref,
+                    AggSpec::new(AggFunc::Sum, Expr::col(Col::base(RelId(1), 2))),
+                )],
+                count: None,
+            },
+        );
+        assert!(foreign.validate(&cat, &rels).is_err());
     }
 
     #[test]

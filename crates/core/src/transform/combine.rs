@@ -134,6 +134,17 @@ pub fn combine_all(plan: &Plan) -> Plan {
             spec: spec.clone(),
             project: project.clone(),
         },
+        Plan::PartialAggregate {
+            algo,
+            input,
+            spec,
+            project,
+        } => Plan::PartialAggregate {
+            algo: *algo,
+            input: Box::new(combine_all(input)),
+            spec: spec.clone(),
+            project: project.clone(),
+        },
     };
     match combine_groupbys(&rebuilt) {
         Some(combined) => combine_all(&combined),

@@ -45,6 +45,7 @@ pub fn output_key(plan: &Plan, catalog: &Catalog) -> Result<Option<Vec<Col>>> {
         }
         Plan::GroupBy { spec, .. } => Some(spec.group_cols.clone()),
         Plan::PartialGroupBy { spec, .. } => Some(spec.group_cols.clone()),
+        Plan::PartialAggregate { spec, .. } => Some(spec.group_cols.clone()),
         // Zero rows trivially satisfy any key, but claiming one would
         // let invariant-grouping reason from a vacuous property.
         Plan::EmptyScan { .. } => None,

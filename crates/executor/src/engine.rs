@@ -20,13 +20,13 @@ use crate::vector;
 use aggview_common::expr::BoundExpr;
 use aggview_common::fault::{maybe_fault, FaultInjector};
 use aggview_common::{
-    AggFunc, AggViewError, Batch, Col, ColumnVec, DataType, Predicate, RelId, Result, Tuple,
+    AggFunc, AggRef, AggViewError, Batch, Col, ColumnVec, DataType, Predicate, RelId, Result, Tuple,
 };
 use aggview_core::analyze::dataflow;
 use aggview_core::cost::ops::{self, JoinSides};
 use aggview_core::cost::CostModel;
 use aggview_core::governor::ResourceGovernor;
-use aggview_core::plan::{AggAlgo, GroupBySpec, JoinAlgo, PartialGroupSpec, Plan};
+use aggview_core::plan::{AggAlgo, GroupBySpec, JoinAlgo, PartialAggSpec, PartialGroupSpec, Plan};
 use aggview_core::query::QueryEnv;
 use aggview_storage::Catalog;
 use std::collections::HashMap;
@@ -282,6 +282,12 @@ impl<'a> Engine<'a> {
                 spec,
                 project,
             } => self.exec_partial_group_by(plan, *algo, input, spec, project, ctx),
+            Plan::PartialAggregate {
+                algo,
+                input,
+                spec,
+                project,
+            } => self.exec_partial_aggregate(plan, *algo, input, spec, project, ctx),
             Plan::EmptyScan { project, types, .. } => self.exec_empty_scan(project, types, ctx),
             Plan::ExtentScan {
                 view,
@@ -562,6 +568,20 @@ impl<'a> Engine<'a> {
         } else {
             eq_keys.iter().map(|&(l, r)| (r, l)).unzip()
         };
+        // Peak accounting: the hash path holds the entire build side
+        // resident while probing, and the nested-loop path materializes
+        // the same side as its inner input — charge both uniformly, the
+        // same way the cost model's Join arm prices build residency.
+        let held_bytes = if build_left {
+            bytes_of_data(&ldata)
+        } else {
+            bytes_of_data(&rdata)
+        };
+        let build_hint = if build_left {
+            self.stats_rows_hint(left)
+        } else {
+            self.stats_rows_hint(right)
+        };
 
         let (out, out_bytes) = match (ldata, rdata) {
             (Data::Rows(lrows), Data::Rows(rrows)) => {
@@ -580,7 +600,8 @@ impl<'a> Engine<'a> {
                     } else {
                         (&rrows, &lrows)
                     };
-                    let index = parallel::build_index(&ctx.options, ctx.gov, build, &build_pos)?;
+                    let index =
+                        parallel::build_index(&ctx.options, ctx.gov, build, &build_pos, build_hint)?;
                     let emit = JoinEmit::new(&positions, lcols.len(), build_left);
                     parallel::probe_join(
                         &ctx.options,
@@ -609,7 +630,8 @@ impl<'a> Engine<'a> {
                     )?
                 } else {
                     let (build, probe) = if build_left { (&lb, &rb) } else { (&rb, &lb) };
-                    let index = vector::build_index(&ctx.options, ctx.gov, build, &build_pos)?;
+                    let index =
+                        vector::build_index(&ctx.options, ctx.gov, build, &build_pos, build_hint)?;
                     vector::probe_join(
                         &ctx.options,
                         ctx.gov,
@@ -633,7 +655,7 @@ impl<'a> Engine<'a> {
                 ))
             }
         };
-        ctx.note_op_output(out_bytes);
+        ctx.note_op_output(out_bytes + held_bytes);
         Ok((project.to_vec(), out))
     }
 
@@ -663,6 +685,12 @@ impl<'a> Engine<'a> {
             .collect::<Result<_>>()?;
 
         // Per-aggregate input mode: raw expression or partial components.
+        // When an eager partial aggregate below the join pre-folded one
+        // side, its duplicate-factor count rides one slot past the real
+        // aggregates; duplicate-sensitive raw aggregates scale by it.
+        let cnt_pos = layout
+            .get(&Col::part(AggRef::new(spec.owner, spec.aggs.len()), 0))
+            .copied();
         let mut inputs = Vec::with_capacity(spec.aggs.len());
         for (i, a) in spec.aggs.iter().enumerate() {
             let aref = spec.agg_ref(i);
@@ -677,11 +705,18 @@ impl<'a> Engine<'a> {
                     .collect::<Result<_>>()?;
                 inputs.push(AggInput::Partial(comps));
             } else {
-                match &a.arg {
-                    Some(e) => {
+                match (&a.arg, cnt_pos) {
+                    (arg, Some(cpos)) if a.func.is_duplicate_sensitive() => {
+                        let bound = match arg {
+                            Some(e) => Some(e.bind(&|c| layout.get(&c).copied())?),
+                            None => None,
+                        };
+                        inputs.push(AggInput::Scaled(bound, cpos));
+                    }
+                    (Some(e), _) => {
                         inputs.push(AggInput::Raw(e.bind(&|c| layout.get(&c).copied())?));
                     }
-                    None => inputs.push(AggInput::RawCountStar),
+                    (None, _) => inputs.push(AggInput::RawCountStar),
                 }
             }
         }
@@ -935,6 +970,168 @@ impl<'a> Engine<'a> {
         Ok((project.to_vec(), out_data))
     }
 
+    /// Eager partial aggregation below a join (Yan–Larson push-down):
+    /// fold the input into per-group partial states *before* the join,
+    /// optionally carrying a per-group COUNT(*) so the merge above can
+    /// scale the partner side's duplicate-sensitive aggregates.
+    fn exec_partial_aggregate(
+        &self,
+        node: &Plan,
+        algo: AggAlgo,
+        input: &Plan,
+        spec: &PartialAggSpec,
+        project: &[Col],
+        ctx: &mut ExecCtx<'_>,
+    ) -> Result<(Vec<Col>, Data)> {
+        ctx.gov.check_interrupt()?;
+        maybe_fault(ctx.faults, "exec.partial-agg")?;
+        let (icols, idata) = self.exec(input, ctx)?;
+        let layout = layout_map(&icols);
+        let key_pos: Vec<usize> = spec
+            .group_cols
+            .iter()
+            .map(|c| {
+                layout.get(c).copied().ok_or_else(|| {
+                    AggViewError::Plan(format!("eager grouping column {c} missing from input"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        // Pushed aggregates plus, when the node carries one, the
+        // duplicate-factor COUNT(*) as a final synthetic aggregate.
+        let mut inputs: Vec<AggInput> = spec
+            .aggs
+            .iter()
+            .map(|(_, a)| match &a.arg {
+                Some(e) => Ok(AggInput::Raw(e.bind(&|c| layout.get(&c).copied())?)),
+                None => Ok(AggInput::RawCountStar),
+            })
+            .collect::<Result<_>>()?;
+        let mut funcs: Vec<AggFunc> = spec.aggs.iter().map(|(_, a)| a.func).collect();
+        if spec.count.is_some() {
+            funcs.push(AggFunc::Count);
+            inputs.push(AggInput::RawCountStar);
+        }
+
+        // Output layout: group cols, partial components per agg, then
+        // the count column last (matching the synthetic Count's order).
+        let mut out_cols: Vec<Col> = spec.group_cols.clone();
+        out_cols.extend(spec.all_part_cols());
+        let out_layout = layout_map(&out_cols);
+        let positions: Vec<usize> = project
+            .iter()
+            .map(|c| {
+                out_layout.get(c).copied().ok_or_else(|| {
+                    AggViewError::Plan(format!(
+                        "eager partial aggregate projects unavailable column {c}"
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        let in_pages = self.pages_of_data(&idata);
+        let (out_data, out_bytes) = match idata {
+            Data::Rows(irows) => {
+                let table = parallel::accumulate_groups(
+                    &ctx.options,
+                    ctx.gov,
+                    &irows,
+                    &key_pos,
+                    &inputs,
+                    &funcs,
+                )?;
+                let mut out = Vec::with_capacity(table.len());
+                let mut out_bytes = 0u64;
+                for g in table.groups {
+                    let mut values = g.key.into_values();
+                    for s in &g.states {
+                        // Non-empty groups always have full component vectors.
+                        values.extend(s.components().iter().cloned());
+                    }
+                    let full = Tuple::new(values);
+                    let t = full.project(&positions);
+                    ctx.charge_tuple(&t)?;
+                    out_bytes += t.width() as u64;
+                    out.push(t);
+                }
+                (Data::Rows(out), out_bytes)
+            }
+            Data::Batch(ib) => {
+                let table = vector::accumulate_groups(
+                    &ctx.options,
+                    ctx.gov,
+                    &ib,
+                    &key_pos,
+                    &inputs,
+                    &funcs,
+                )?;
+                let ngroups = table.len();
+                let (keys, states, n_aggs) = table.into_key_columns();
+                let n_comps: usize = funcs.iter().map(|f| f.partial_arity()).sum();
+                // Pre-type the partial-state component columns from the
+                // dataflow certificate (same contract as the full
+                // group-by's aggregate columns).
+                let node_types = dataflow::output_types(node, self.catalog);
+                let mut cols = keys;
+                cols.extend(spec.all_part_cols().iter().map(|c| {
+                    match node_types.as_ref().and_then(|m| m.get(c)) {
+                        Some(&ty) => ColumnVec::with_type(ty),
+                        None => ColumnVec::Mixed(Vec::with_capacity(ngroups)),
+                    }
+                }));
+                let comp_base = cols.len() - n_comps;
+                for g in 0..ngroups {
+                    let mut cc = comp_base;
+                    for j in 0..n_aggs {
+                        for v in states[g * n_aggs + j].components() {
+                            cols[cc].push_value(v.clone());
+                            cc += 1;
+                        }
+                    }
+                }
+                let full = Batch::from_parts(cols, ngroups);
+                let mut out = Batch::from_parts(
+                    positions
+                        .iter()
+                        .map(|&p| full.col(p).empty_like())
+                        .collect(),
+                    0,
+                );
+                let bytes = out.gather_from(&full, &positions, None, 0..ngroups);
+                ctx.gov.charge_output_bulk(out.len() as u64, bytes)?;
+                (Data::Batch(out), bytes)
+            }
+        };
+        ctx.note_op_output(out_bytes);
+
+        let out_pages = self.model.page.pages_for_bytes(out_bytes as f64);
+        let io = self.model.io;
+        let (algo, charge) = match algo {
+            AggAlgo::Auto => ops::best_agg(in_pages, out_pages, &io),
+            AggAlgo::Hash => (AggAlgo::Hash, ops::hash_agg_io(in_pages, out_pages, &io)),
+            AggAlgo::Sort => (AggAlgo::Sort, ops::sort_agg_io(in_pages, io.mem_pages)),
+        };
+        ctx.breakdown.push(IoBreakdown {
+            op: format!("partial-agg[{algo}]"),
+            pages: charge,
+        });
+        Ok((project.to_vec(), out_data))
+    }
+
+    /// Row-count hint for pre-sizing a hash-join build table: available
+    /// when the build input is a bare table scan with fresh statistics.
+    fn stats_rows_hint(&self, plan: &Plan) -> Option<usize> {
+        match plan {
+            Plan::Scan { table, .. } | Plan::ExtentScan { table, .. } => {
+                if self.catalog.stats_fresh(table) {
+                    Some(self.catalog.get(table).ok()?.stats().rows as usize)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
     fn pages_of(&self, rows: &[Tuple]) -> f64 {
         let bytes: usize = rows.iter().map(Tuple::width).sum();
         self.model.page.pages_for_bytes(bytes as f64)
@@ -952,6 +1149,14 @@ impl<'a> Engine<'a> {
 
 fn layout_map(cols: &[Col]) -> HashMap<Col, usize> {
     cols.iter().enumerate().map(|(i, c)| (*c, i)).collect()
+}
+
+/// Mode-independent byte size of a materialized operator input.
+fn bytes_of_data(d: &Data) -> u64 {
+    match d {
+        Data::Rows(r) => r.iter().map(|t| t.width() as u64).sum(),
+        Data::Batch(b) => b.total_bytes() as u64,
+    }
 }
 
 pub(crate) fn eval_all(

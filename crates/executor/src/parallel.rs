@@ -275,11 +275,16 @@ impl JoinEmit {
 /// scatter `(hash, row)` pairs by `hash % workers` and then each worker
 /// assembles one partition's map, keeping candidate lists in ascending
 /// build-row order either way.
+///
+/// `rows_hint` carries a fresh-statistics row count for the build input
+/// (when the planner knows one) so the parallel scatter buckets start
+/// at their expected size instead of growing through doublings.
 pub fn build_index(
     opts: &ExecOptions,
     gov: &ResourceGovernor,
     build: &[Tuple],
     key_pos: &[usize],
+    rows_hint: Option<usize>,
 ) -> Result<JoinIndex> {
     let workers = opts.workers_for(build.len());
     if workers <= 1 {
@@ -287,9 +292,13 @@ pub fn build_index(
         return Ok(JoinIndex::build_serial(build, key_pos));
     }
     let nparts = workers;
+    let per_bucket = rows_hint
+        .map(|h| h.min(build.len()) / (workers * nparts) + 1)
+        .unwrap_or(0);
     let chunks = chunk_ranges(build.len(), workers);
     let scattered = run_chunks(chunks, |range| {
-        let mut buckets: Vec<Vec<(u64, u32)>> = vec![Vec::new(); nparts];
+        let mut buckets: Vec<Vec<(u64, u32)>> =
+            vec![Vec::with_capacity(per_bucket); nparts];
         for_each_morsel(gov, range, opts.morsel_rows, |i| {
             let h = hash_key(&build[i], key_pos);
             buckets[(h % nparts as u64) as usize].push((h, i as u32));
@@ -477,7 +486,7 @@ mod tests {
         let input = rows(500);
         let gov = ResourceGovernor::unlimited();
         let serial = JoinIndex::build_serial(&input, &[0]);
-        let parallel = build_index(&par(4), &gov, &input, &[0]).unwrap();
+        let parallel = build_index(&par(4), &gov, &input, &[0], None).unwrap();
         assert!(parallel.partitions() > 1);
         for probe in &input {
             let h = hash_key(probe, &[0]);

@@ -114,6 +114,11 @@ pub enum AggInput {
     /// Positions of the partial-state component columns in the input
     /// layout, in component order.
     Partial(Vec<usize>),
+    /// Duplicate-factor compensation for eager aggregation: each input
+    /// row stands for the count held at the given position (the partner
+    /// side's per-group count column), so the argument — `None` for
+    /// COUNT(*) — is absorbed with that weight.
+    Scaled(Option<BoundExpr>, usize),
 }
 
 /// Dummy referent so component references can live in a fixed-size
@@ -136,6 +141,16 @@ impl AggInput {
                     buf[k] = row.get(i);
                 }
                 state.merge_components(&buf[..comps.len()])
+            }
+            AggInput::Scaled(e, cnt) => {
+                let n = duplicate_factor(row.get(*cnt))?;
+                match e {
+                    Some(e) => {
+                        let v = e.eval(row)?;
+                        state.update_weighted(Some(&v), n)
+                    }
+                    None => state.update_weighted(None, n),
+                }
             }
         }
     }
@@ -163,8 +178,25 @@ impl AggInput {
                 }
                 state.merge_components(&buf[..comps.len()])
             }
+            AggInput::Scaled(e, cnt) => {
+                let n = duplicate_factor(&get(*cnt))?;
+                match e {
+                    Some(e) => {
+                        let v = e.eval_with(get)?;
+                        state.update_weighted(Some(&v), n)
+                    }
+                    None => state.update_weighted(None, n),
+                }
+            }
         }
     }
+}
+
+/// Read a duplicate-factor count value, rejecting non-integers.
+fn duplicate_factor(v: &Value) -> Result<i64> {
+    v.as_i64().ok_or_else(|| {
+        aggview_common::AggViewError::Exec(format!("non-integer duplicate factor {v}"))
+    })
 }
 
 /// One aggregation group: its key hash, the projected key tuple, and one

@@ -302,6 +302,7 @@ pub fn build_index(
     gov: &ResourceGovernor,
     build: &Batch,
     key_pos: &[usize],
+    rows_hint: Option<usize>,
 ) -> Result<JoinIndex> {
     let n = build.len();
     let workers = opts.workers_for(n);
@@ -319,9 +320,13 @@ pub fn build_index(
         return Ok(JoinIndex::from_parts(vec![map]));
     }
     let nparts = workers;
+    let per_bucket = rows_hint
+        .map(|h| h.min(n) / (workers * nparts) + 1)
+        .unwrap_or(0);
     let chunks = chunk_ranges(n, workers);
     let scattered = run_chunks(chunks, |range| {
-        let mut buckets: Vec<Vec<(u64, u32)>> = vec![Vec::new(); nparts];
+        let mut buckets: Vec<Vec<(u64, u32)>> =
+            vec![Vec::with_capacity(per_bucket); nparts];
         let mut hashes = Vec::new();
         for_each_tile(gov, range, opts.batch_rows, |r| {
             build.hash_rows(key_pos, r.clone(), &mut hashes);
@@ -1135,7 +1140,7 @@ mod tests {
         let positions = [1usize, 4, 2];
         // build on the smaller (right) side, like the engine would
         let build_left = false;
-        let index = build_index(&opts(), &gov, &rb, &[0]).unwrap();
+        let index = build_index(&opts(), &gov, &rb, &[0], None).unwrap();
         let (got, gb) = probe_join(
             &opts(),
             &gov,
@@ -1152,7 +1157,7 @@ mod tests {
         .unwrap();
 
         let row_index =
-            crate::parallel::build_index(&ExecOptions::serial(), &gov, &rrows, &[0]).unwrap();
+            crate::parallel::build_index(&ExecOptions::serial(), &gov, &rrows, &[0], None).unwrap();
         let emit = crate::parallel::JoinEmit::new(&positions, 3, build_left);
         let (expect, eb) = crate::parallel::probe_join(
             &ExecOptions::serial(),

@@ -9,7 +9,7 @@ use aggview_common::{
     Tuple, Value, ZSet,
 };
 use aggview_core::analyze::PlanAnalyzer;
-use aggview_core::cost::CostModel;
+use aggview_core::cost::{CardEstimator, CostModel};
 use aggview_core::governor::{OptimizeOutcome, ResourceGovernor, ResourceLimits};
 use aggview_core::optimizer::multi_view::{optimize_governed, Optimized};
 use aggview_core::OptimizerConfig;
@@ -433,6 +433,14 @@ impl Session {
         Ok((bound, opt))
     }
 
+    /// EXPLAIN rendering of the chosen plan with per-operator estimated
+    /// peak intermediate bytes (backs the REPL's `.explain`).
+    pub fn explain(&mut self, sql: &str) -> Result<(String, Optimized)> {
+        let (bound, opt) = self.plan(sql)?;
+        let est = CardEstimator::new(self.model, &self.catalog, &bound.query.env);
+        Ok((est.explain_with_peaks(&opt.plan), opt))
+    }
+
     /// Optimize the script's last SELECT and run the static
     /// plan-integrity analyzer over the chosen plan, without executing
     /// it. Backs the REPL's `.lint` command and `EXPLAIN VERIFY`.
@@ -516,7 +524,8 @@ impl Session {
             rows,
             io_pages: 0.0,
             estimated_cost: opt.props.cost,
-            plan: opt.plan.explain(),
+            plan: CardEstimator::new(self.model, &self.catalog, &bound.query.env)
+                .explain_with_peaks(&opt.plan),
             outcome: opt.outcome,
             retries: 0,
         })

@@ -131,7 +131,9 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
                  \u{20}                            threads (parallel executor workers);\n\
                  \u{20}                            batch_rows (vectorized tile size);\n\
                  \u{20}                            exec_mode <row|batch> (reference vs\n\
-                 \u{20}                            vectorized execution)\n\
+                 \u{20}                            vectorized execution);\n\
+                 \u{20}                            eager_agg <on|off> (eager partial\n\
+                 \u{20}                            aggregation below joins)\n\
                  .limits                      show current resource limits\n\
                  .bench [threads]             executor scaling benchmark (writes BENCH_exec.json)\n\
                  .views                       list materialized views (rows, bytes, staleness)\n\
@@ -329,7 +331,7 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
             let l = &session.limits;
             let show = |v: Option<u64>| v.map_or("off".to_string(), |n| n.to_string());
             println!(
-                "timeout_ms {}  max_rows {}  max_bytes {}  max_plans {}  max_memo {}  retries {}  threads {}  batch_rows {}  exec_mode {}",
+                "timeout_ms {}  max_rows {}  max_bytes {}  max_plans {}  max_memo {}  retries {}  threads {}  batch_rows {}  exec_mode {}  eager_agg {}",
                 l.timeout
                     .map_or("off".to_string(), |t| t.as_millis().to_string()),
                 show(l.max_rows),
@@ -340,6 +342,11 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
                 session.exec.threads,
                 session.exec.batch_rows,
                 mode_name(session.exec.mode),
+                if session.config.use_eager_agg {
+                    "on"
+                } else {
+                    "off"
+                },
             );
         }
         ".bench" => {
@@ -364,9 +371,9 @@ fn dot_command(cmd: &str, session: &mut Session) -> bool {
             }
         }
         ".explain" => match parts.get(1) {
-            Some(sql) => match session.plan(sql) {
-                Ok((_, opt)) => {
-                    println!("{}", opt.plan.explain());
+            Some(sql) => match session.explain(sql) {
+                Ok((text, opt)) => {
+                    print!("{text}");
                     println!(
                         "estimated cost: {:.1} pages ({})",
                         opt.props.cost, opt.stats
@@ -445,6 +452,28 @@ fn set_limit(session: &mut Session, key: &str, val: &str) {
         println!("exec_mode = {}", mode_name(session.exec.mode));
         return;
     }
+    if key == "eager_agg" {
+        // Not a governor limit: `off` disables the plan alternative,
+        // `on` re-enables it (the environment default honors
+        // AGGVIEW_EAGER_AGG).
+        session.config.use_eager_agg = match val {
+            "on" | "1" | "true" => true,
+            "off" | "0" | "false" => false,
+            other => {
+                println!("`{other}` is not an eager_agg setting — on | off");
+                return;
+            }
+        };
+        println!(
+            "eager_agg = {}",
+            if session.config.use_eager_agg {
+                "on"
+            } else {
+                "off"
+            }
+        );
+        return;
+    }
     let parsed: Option<u64> = if val.eq_ignore_ascii_case("off") {
         None
     } else {
@@ -486,7 +515,7 @@ fn set_limit(session: &mut Session, key: &str, val: &str) {
             None => session.max_retries = 0,
         },
         other => {
-            println!("unknown limit `{other}` — keys: timeout_ms max_rows max_bytes max_plans max_memo retries threads batch_rows exec_mode");
+            println!("unknown limit `{other}` — keys: timeout_ms max_rows max_bytes max_plans max_memo retries threads batch_rows exec_mode eager_agg");
             return;
         }
     }

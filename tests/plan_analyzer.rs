@@ -20,11 +20,11 @@ use aggview::common::{
 };
 use aggview::core::analyze::mutate::mutants;
 use aggview::core::cost::ops::IoParams;
-use aggview::core::plan::all_cols;
+use aggview::core::plan::{all_cols, PartialAggSpec};
 use aggview::core::query::examples::{
     dept, emp, example1_query, example2_query, example2_wide_query,
 };
-use aggview::core::query::QueryEnv;
+use aggview::core::query::{CanonicalQuery, QueryEnv, TopGroup};
 use aggview::core::{
     optimize, optimize_governed, CostModel, GroupBySpec, JoinAlgo, OptimizerConfig,
     PartialGroupSpec, Plan, PlanAnalyzer, PullUpLevel, ResourceGovernor, ResourceLimits,
@@ -161,6 +161,93 @@ fn rules_fired(report: &aggview::core::AnalysisReport) -> BTreeSet<&'static str>
     report.violations.iter().map(|v| v.rule).collect()
 }
 
+/// A self-join aggregate query whose optimized plan (under a tight
+/// memory budget and a large catalog) contains an eager
+/// partial-aggregate below the join — the shape the three eager
+/// mutation kinds need.
+fn eager_selfjoin_query() -> CanonicalQuery {
+    let mut env = QueryEnv::default();
+    let e1 = env.add_rel("emp");
+    let e2 = env.add_rel("emp");
+    CanonicalQuery {
+        env,
+        views: vec![],
+        base_rels: vec![e1, e2],
+        preds: vec![Predicate::eq_cols(
+            Col::base(e1, emp::DNO),
+            Col::base(e2, emp::DNO),
+        )],
+        group: Some(TopGroup {
+            group_cols: vec![Col::base(e1, emp::DNO)],
+            aggs: vec![
+                AggSpec::new(AggFunc::Avg, Expr::col(Col::base(e1, emp::AGE))),
+                AggSpec::new(AggFunc::Min, Expr::col(Col::base(e2, emp::SAL))),
+                AggSpec::new(AggFunc::Sum, Expr::col(Col::base(e2, emp::AGE))),
+            ],
+            having: vec![],
+        }),
+        projection: vec![
+            Col::base(e1, emp::DNO),
+            Col::agg(ViewId::Top, 0),
+            Col::agg(ViewId::Top, 1),
+            Col::agg(ViewId::Top, 2),
+        ],
+    }
+}
+
+/// A hand-built eager plan with *two* pushed keys (a grouping column of
+/// the pushed side plus its join key): partial SUM(e2.sal) with the
+/// duplicate-factor count below the join, scaled merge above. The
+/// eager-drop-pushed-key mutation needs the second key.
+fn eager_plan() -> Plan {
+    let e1 = RelId(0);
+    let e2 = RelId(1);
+    let partial = Plan::partial_aggregate_all(
+        scan_emp(e2),
+        PartialAggSpec {
+            group_cols: vec![Col::base(e2, emp::AGE), Col::base(e2, emp::DNO)],
+            aggs: vec![(
+                AggRef::new(ViewId::Top, 1),
+                AggSpec::new(AggFunc::Sum, Expr::col(Col::base(e2, emp::SAL))),
+            )],
+            count: Some(AggRef::new(ViewId::Top, 2)),
+        },
+    );
+    let join = Plan::join_all(
+        partial,
+        scan_emp(e1),
+        vec![Predicate::eq_cols(
+            Col::base(e1, emp::DNO),
+            Col::base(e2, emp::DNO),
+        )],
+    );
+    Plan::group_by_all(
+        join,
+        GroupBySpec {
+            owner: ViewId::Top,
+            group_cols: vec![Col::base(e1, emp::DNO), Col::base(e2, emp::AGE)],
+            aggs: vec![
+                AggSpec::new(AggFunc::Avg, Expr::col(Col::base(e1, emp::SAL))),
+                AggSpec::new(AggFunc::Sum, Expr::col(Col::base(e2, emp::SAL))),
+            ],
+            having: vec![],
+        },
+    )
+}
+
+fn contains_partial_aggregate(p: &Plan) -> bool {
+    match p {
+        Plan::PartialAggregate { .. } => true,
+        Plan::Join { left, right, .. } => {
+            contains_partial_aggregate(left) || contains_partial_aggregate(right)
+        }
+        Plan::GroupBy { input, .. } | Plan::PartialGroupBy { input, .. } => {
+            contains_partial_aggregate(input)
+        }
+        Plan::Scan { .. } | Plan::ExtentScan { .. } | Plan::EmptyScan { .. } => false,
+    }
+}
+
 #[test]
 fn analyzer_accepts_every_corpus_plan() {
     let catalog = catalog();
@@ -218,7 +305,7 @@ fn analyzer_rejects_every_seeded_mutant() {
     // Hand-built shapes covering mutation kinds the optimizer corpus may
     // not exhibit (coalescing stages, aggregate HAVING above a join);
     // these only need the catalog-level rules.
-    for plan in [coalescing_plan(), having_join_plan()] {
+    for plan in [coalescing_plan(), having_join_plan(), eager_plan()] {
         let base = PlanAnalyzer::new(&catalog).analyze(&plan);
         assert!(base.is_ok(), "unmutated shape rejected:\n{base}");
         for mt in mutants(&plan) {
@@ -234,6 +321,41 @@ fn analyzer_rejects_every_seeded_mutant() {
         }
     }
 
+    // An eager (partial-aggregate-below-join) optimizer output: the
+    // three eager mutation kinds only apply to this shape.
+    let big = gen_empdept(&EmpDeptConfig {
+        n_depts: 200,
+        emps_per_dept: 100,
+        young_fraction: 0.3,
+        low_budget_fraction: 0.3,
+        seed: 12,
+    })
+    .unwrap();
+    let eq = eager_selfjoin_query();
+    let cfg = OptimizerConfig {
+        use_eager_agg: true,
+        ..Default::default()
+    };
+    let opt = optimize(&eq, &big, m, &cfg).unwrap();
+    assert!(
+        contains_partial_aggregate(&opt.plan),
+        "eager shape missing from the mutation corpus:\n{}",
+        opt.plan.explain()
+    );
+    let base = PlanAnalyzer::new(&big).with_query(&eq).analyze(&opt.plan);
+    assert!(base.is_ok(), "unmutated eager plan rejected:\n{base}");
+    for mt in mutants(&opt.plan) {
+        total += 1;
+        let report = PlanAnalyzer::new(&big).with_query(&eq).analyze(&mt.plan);
+        assert!(
+            !report.is_ok(),
+            "mutant `{}` accepted:\n{}",
+            mt.name,
+            mt.plan.explain()
+        );
+        kinds.insert(mt.name);
+    }
+
     let all_kinds: BTreeSet<&str> = [
         "drop-group-col",
         "move-having-below",
@@ -247,6 +369,9 @@ fn analyzer_rejects_every_seeded_mutant() {
         "having-foreign-column",
         "nonlocal-scan-filter",
         "join-pred-unavailable",
+        "eager-drop-pushed-key",
+        "eager-drop-count",
+        "eager-component-lie",
     ]
     .into_iter()
     .collect();
